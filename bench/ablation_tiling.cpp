@@ -1,0 +1,69 @@
+// Ablation: warp-remapped halo loading vs naive boundary-thread loading
+// (section IV.b, Fig. 3).
+//
+// The paper's index-mapping trick dedicates the block's first warp to the
+// 18x18 tile's halo ring, keeping every load predicate warp-uniform.
+// This bench reports the divergence rate and modeled time of the tiled
+// kernels under both strategies — functional results are identical
+// (tested), only cost differs.
+//
+//   ./ablation_tiling [--densities=5,20] [--measure=10]
+#include "bench_common.hpp"
+
+using namespace pedsim;
+
+int main(int argc, char** argv) {
+    const io::ArgParser args(argc, argv);
+    const int warmup = static_cast<int>(args.get_int("warmup", 3));
+    const int measure = static_cast<int>(args.get_int("measure", 10));
+
+    bench::print_protocol(
+        "Ablation — halo-tile loading: warp-remapped (paper) vs naive",
+        "480x480 grid, ACO model; divergence + modeled time of the tiled "
+        "kernels (initial_calc + movement)");
+
+    io::CsvWriter csv(bench::csv_path(args, "ablation_tiling.csv"));
+    csv.header({"total_agents", "strategy", "divergence_rate",
+                "tiled_kernel_ms_per_step"});
+    io::TablePrinter table(
+        {"total_agents", "strategy", "divergence", "tiled_ms/step"});
+
+    for (const int d : {5, 20}) {
+        core::SimConfig cfg;
+        cfg.model = core::Model::kAco;
+        cfg.agents_per_side = bench::paper_agents_per_side(d);
+        cfg.seed = 23 + static_cast<std::uint64_t>(d);
+
+        for (const bool remapped : {true, false}) {
+            core::GpuOptions opt;
+            opt.remapped_halo_load = remapped;
+            core::GpuSimulator sim(cfg, opt);
+            sim.run(warmup);
+            const auto before = sim.launch_log().records().size();
+            sim.run(measure);
+
+            simt::KernelStats tiled;
+            double ms = 0.0;
+            const auto& recs = sim.launch_log().records();
+            for (std::size_t i = before; i < recs.size(); ++i) {
+                if (recs[i].kernel_name != "initial_calc" &&
+                    recs[i].kernel_name != "movement") {
+                    continue;
+                }
+                tiled.merge(recs[i].stats);
+                ms += recs[i].modeled_seconds * 1e3;
+            }
+            const char* name = remapped ? "remapped" : "naive";
+            csv.row(2 * cfg.agents_per_side, name, tiled.divergence_rate(),
+                    ms / measure);
+            table.add_row({std::to_string(2 * cfg.agents_per_side), name,
+                           io::TablePrinter::num(tiled.divergence_rate(), 4),
+                           io::TablePrinter::num(ms / measure, 3)});
+        }
+    }
+    table.print();
+    std::printf(
+        "\nexpected: the remapped load keeps the halo stage divergence-free "
+        "(paper Fig. 3); the naive load splits warps at every tile edge.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Paper evaluation protocol (sections V-VI): 480x480 grid, total agents
+// 2,560..102,400 in steps of 2,560 (half per side), 25,000 steps, 10
+// repetitions. Full-scale runs take hours on the instrumented device
+// simulator, so each harness defaults to a scaled protocol (measure a
+// step window, extrapolate linearly; or shrink the grid with density held
+// fixed) and exposes --paper to run the original numbers. Every default is
+// printed so a reader can tell exactly what was run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cpu_simulator.hpp"
+#include "core/gpu_simulator.hpp"
+#include "io/args.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace pedsim::bench {
+
+/// The paper's population sweep: density index d (1-based) has
+/// 2,560 * d total agents (1,280 * d per side), up to d = 40.
+inline std::size_t paper_agents_per_side(int density_index) {
+    return static_cast<std::size_t>(1280) *
+           static_cast<std::size_t>(density_index);
+}
+
+/// Scale a paper population to a smaller grid at equal area density.
+inline std::size_t scaled_agents_per_side(int density_index, int grid_edge) {
+    const double scale = static_cast<double>(grid_edge) *
+                         static_cast<double>(grid_edge) / (480.0 * 480.0);
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(paper_agents_per_side(density_index)) * scale);
+    return scaled == 0 ? 1 : scaled;
+}
+
+struct TimedRun {
+    double wall_seconds_per_step = 0.0;     ///< measured host seconds
+    double modeled_seconds_per_step = 0.0;  ///< device model (GPU engine)
+    std::size_t crossed = 0;
+    std::uint64_t moves = 0;
+};
+
+/// Run `warmup` unmeasured steps then `measure` measured steps.
+inline TimedRun timed_run(core::Simulator& sim, int warmup, int measure) {
+    sim.run(warmup);
+    const auto rr = sim.run(measure);
+    TimedRun t;
+    t.wall_seconds_per_step = rr.wall_seconds / measure;
+    t.modeled_seconds_per_step = rr.modeled_device_seconds / measure;
+    t.crossed = rr.crossed_total();
+    t.moves = rr.total_moves;
+    return t;
+}
+
+/// Measured window on the GPU engine: per-step modeled device seconds,
+/// per-step modeled sequential (i7-930) seconds from the same operation
+/// counts, and the aggregated kernel stats.
+struct GpuWindow {
+    double gpu_seconds_per_step = 0.0;
+    double cpu_model_seconds_per_step = 0.0;
+    simt::KernelStats stats;
+};
+
+inline GpuWindow gpu_window(core::GpuSimulator& sim, int warmup,
+                            int measure) {
+    sim.run(warmup);
+    const auto before = sim.launch_log().records().size();
+    const double m0 = sim.modeled_seconds();
+    sim.run(measure);
+    GpuWindow w;
+    const auto& recs = sim.launch_log().records();
+    for (std::size_t i = before; i < recs.size(); ++i) {
+        w.stats.merge(recs[i].stats);
+    }
+    w.gpu_seconds_per_step = (sim.modeled_seconds() - m0) / measure;
+    w.cpu_model_seconds_per_step =
+        simt::SequentialCostModel{}.seconds(w.stats) / measure;
+    return w;
+}
+
+/// CSV output directory (bench binaries drop series next to the binary).
+inline std::string csv_path(const io::ArgParser& args,
+                            const std::string& name) {
+    return args.get("out", name);
+}
+
+inline void print_protocol(const char* figure, const std::string& detail) {
+    std::printf("== %s ==\n%s\n\n", figure, detail.c_str());
+}
+
+}  // namespace pedsim::bench

@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark) of the hot building blocks: Philox
+// draws, candidate scoring, scatter-to-gather resolution, and one full
+// simulation step per engine. These bound the per-step cost that the
+// figure harnesses extrapolate from.
+#include <benchmark/benchmark.h>
+
+#include "core/cpu_simulator.hpp"
+#include "core/gpu_simulator.hpp"
+#include "core/rules.hpp"
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+using namespace pedsim;
+
+namespace {
+
+void BM_PhiloxU32(benchmark::State& state) {
+    rng::Stream s(1, rng::Stage::kGeneric, 0, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.next_u32());
+    }
+}
+BENCHMARK(BM_PhiloxU32);
+
+void BM_StreamConstructionPlusDraw(benchmark::State& state) {
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        rng::Stream s(1, rng::Stage::kMovement, i++, 7);
+        benchmark::DoNotOptimize(s.next_u32());
+    }
+}
+BENCHMARK(BM_StreamConstructionPlusDraw);
+
+void BM_NormalDraw(benchmark::State& state) {
+    rng::Stream s(1, rng::Stage::kGeneric, 0, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng::normal(s));
+    }
+}
+BENCHMARK(BM_NormalDraw);
+
+core::SimConfig small_config(core::Model model) {
+    core::SimConfig cfg;
+    cfg.grid.rows = cfg.grid.cols = 96;
+    cfg.agents_per_side = 512;
+    cfg.model = model;
+    cfg.seed = 99;
+    return cfg;
+}
+
+void BM_CpuStepLem(benchmark::State& state) {
+    auto sim = core::make_cpu_simulator(small_config(core::Model::kLem));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim->step());
+    }
+}
+BENCHMARK(BM_CpuStepLem);
+
+void BM_CpuStepAco(benchmark::State& state) {
+    auto sim = core::make_cpu_simulator(small_config(core::Model::kAco));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim->step());
+    }
+}
+BENCHMARK(BM_CpuStepAco);
+
+void BM_GpuSimtStepLem(benchmark::State& state) {
+    core::GpuSimulator sim(small_config(core::Model::kLem));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.step());
+    }
+}
+BENCHMARK(BM_GpuSimtStepLem);
+
+void BM_GpuSimtStepAco(benchmark::State& state) {
+    core::GpuSimulator sim(small_config(core::Model::kAco));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.step());
+    }
+}
+BENCHMARK(BM_GpuSimtStepAco);
+
+}  // namespace

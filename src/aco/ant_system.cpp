@@ -1,0 +1,132 @@
+#include "aco/ant_system.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+namespace pedsim::aco {
+
+AntSystem::AntSystem(const TspInstance& tsp, AntSystemParams params)
+    : tsp_(tsp),
+      params_(params),
+      n_(tsp.size()),
+      m_(params.ants > 0 ? params.ants : static_cast<int>(tsp.size())),
+      best_length_(std::numeric_limits<double>::infinity()) {
+    if (n_ < 3) throw std::invalid_argument("AntSystem: need >= 3 cities");
+
+    // tau0 = m / L_nn per Dorigo & Stuetzle unless caller overrides.
+    double tau0 = params_.tau0;
+    if (tau0 <= 0.0) {
+        const double lnn = tsp_.tour_length(nearest_neighbor_tour(tsp_));
+        tau0 = static_cast<double>(m_) / lnn;
+    }
+    tau_.assign(n_ * n_, tau0);
+
+    eta_beta_.assign(n_ * n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (i == j) continue;
+            const double d = std::max(tsp_.distance(i, j), 1e-9);
+            eta_beta_[i * n_ + j] = std::pow(1.0 / d, params_.beta);
+        }
+    }
+}
+
+std::vector<int> AntSystem::construct_tour(std::uint64_t ant_id,
+                                           std::uint64_t iteration) {
+    rng::Stream stream(params_.seed, rng::Stage::kAnts, ant_id, iteration);
+    std::vector<bool> visited(n_, false);
+    std::vector<int> tour;
+    tour.reserve(n_);
+
+    // Ants start from random cities (AS places ants randomly on nodes).
+    int cur = static_cast<int>(stream.next_below(static_cast<std::uint32_t>(n_)));
+    visited[static_cast<std::size_t>(cur)] = true;
+    tour.push_back(cur);
+
+    std::vector<double> weights(n_);
+    for (std::size_t step = 1; step < n_; ++step) {
+        const auto ci = static_cast<std::size_t>(cur);
+        for (std::size_t j = 0; j < n_; ++j) {
+            weights[j] = visited[j]
+                             ? 0.0
+                             : std::pow(tau_[ci * n_ + j], params_.alpha) *
+                                   eta_beta_[ci * n_ + j];
+        }
+        int next = rng::roulette(stream, weights.data(),
+                                 static_cast<int>(n_));
+        if (next < 0) {
+            // All feasible weights vanished (extreme evaporation): fall
+            // back to the nearest unvisited city.
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (visited[j]) continue;
+                const double d = tsp_.distance(ci, j);
+                if (d < best) {
+                    best = d;
+                    next = static_cast<int>(j);
+                }
+            }
+        }
+        visited[static_cast<std::size_t>(next)] = true;
+        tour.push_back(next);
+        cur = next;
+    }
+    return tour;
+}
+
+double AntSystem::iterate() {
+    std::vector<std::vector<int>> tours;
+    std::vector<double> lengths;
+    tours.reserve(static_cast<std::size_t>(m_));
+    lengths.reserve(static_cast<std::size_t>(m_));
+
+    double iter_best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < m_; ++k) {
+        auto tour = construct_tour(static_cast<std::uint64_t>(k), iteration_);
+        const double len = tsp_.tour_length(tour);
+        iter_best = std::min(iter_best, len);
+        if (len < best_length_) {
+            best_length_ = len;
+            best_tour_ = tour;
+            best_iteration_ = static_cast<int>(iteration_);
+        }
+        tours.push_back(std::move(tour));
+        lengths.push_back(len);
+    }
+
+    // Eq. (3): evaporation on every edge.
+    for (auto& t : tau_) t *= (1.0 - params_.rho);
+    // Eqs. (4)-(5): each ant deposits q / L_k on its tour's edges.
+    for (int k = 0; k < m_; ++k) {
+        const double dtau = params_.q / lengths[static_cast<std::size_t>(k)];
+        const auto& tour = tours[static_cast<std::size_t>(k)];
+        for (std::size_t i = 0; i < n_; ++i) {
+            const auto a = static_cast<std::size_t>(tour[i]);
+            const auto b = static_cast<std::size_t>(tour[(i + 1) % n_]);
+            tau_[a * n_ + b] += dtau;
+            tau_[b * n_ + a] += dtau;
+        }
+    }
+
+    ++iteration_;
+    return iter_best;
+}
+
+AntSystemResult AntSystem::run(int iterations) {
+    AntSystemResult r;
+    r.best_by_iteration.reserve(static_cast<std::size_t>(iterations));
+    for (int it = 0; it < iterations; ++it) {
+        iterate();
+        r.best_by_iteration.push_back(best_length_);
+    }
+    r.best_tour = best_tour_;
+    r.best_length = best_length_;
+    r.best_iteration = best_iteration_;
+    return r;
+}
+
+}  // namespace pedsim::aco

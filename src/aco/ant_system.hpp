@@ -1,0 +1,69 @@
+// The original Ant System of Dorigo, Maniezzo & Colorni (paper refs [9],
+// [10]): m ants construct tours with the random-proportional rule (eq. 2),
+// then pheromone evaporates (eq. 3) and each ant deposits 1/L_k on its
+// tour's edges (eqs. 4-5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aco/tsp.hpp"
+
+namespace pedsim::aco {
+
+struct AntSystemParams {
+    double alpha = 1.0;   ///< pheromone exponent
+    double beta = 5.0;    ///< heuristic (1/d) exponent — AS-TSP classic
+    double rho = 0.5;     ///< evaporation
+    double q = 100.0;     ///< deposit scale: dtau = q / L_k
+    int ants = 0;         ///< 0 = one ant per city (Dorigo's default)
+    double tau0 = 0.0;    ///< 0 = m / L_nn (Dorigo & Stuetzle's seeding)
+    std::uint64_t seed = 1;
+};
+
+struct AntSystemResult {
+    std::vector<int> best_tour;
+    double best_length = 0.0;
+    int best_iteration = -1;
+    std::vector<double> best_by_iteration;  ///< convergence curve
+};
+
+class AntSystem {
+  public:
+    AntSystem(const TspInstance& tsp, AntSystemParams params);
+
+    /// Run `iterations` colony iterations and return the incumbent.
+    AntSystemResult run(int iterations);
+
+    /// One colony iteration (exposed for tests): constructs all tours and
+    /// applies the pheromone update. Returns the iteration-best length.
+    double iterate();
+
+    [[nodiscard]] const std::vector<double>& pheromone() const {
+        return tau_;
+    }
+    [[nodiscard]] double pheromone_at(std::size_t i, std::size_t j) const {
+        return tau_[i * n_ + j];
+    }
+    [[nodiscard]] const std::vector<int>& best_tour() const {
+        return best_tour_;
+    }
+    [[nodiscard]] double best_length() const { return best_length_; }
+
+  private:
+    std::vector<int> construct_tour(std::uint64_t ant_id,
+                                    std::uint64_t iteration);
+
+    const TspInstance& tsp_;
+    AntSystemParams params_;
+    std::size_t n_;
+    int m_;                       ///< ant count
+    std::vector<double> tau_;     ///< pheromone matrix n x n
+    std::vector<double> eta_beta_;///< (1/d)^beta cached
+    std::vector<int> best_tour_;
+    double best_length_;
+    int best_iteration_ = -1;
+    std::uint64_t iteration_ = 0;
+};
+
+}  // namespace pedsim::aco

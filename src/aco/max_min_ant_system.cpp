@@ -1,0 +1,134 @@
+#include "aco/max_min_ant_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+namespace pedsim::aco {
+
+MaxMinAntSystem::MaxMinAntSystem(const TspInstance& tsp, MaxMinParams params)
+    : tsp_(tsp),
+      params_(params),
+      n_(tsp.size()),
+      m_(params.ants > 0 ? params.ants : static_cast<int>(tsp.size())),
+      best_length_(std::numeric_limits<double>::infinity()) {
+    if (n_ < 3) throw std::invalid_argument("MaxMinAntSystem: need >= 3 cities");
+
+    const double lnn = tsp_.tour_length(nearest_neighbor_tour(tsp_));
+    update_trail_limits(lnn);
+    tau_.assign(n_ * n_, tau_max_);  // MMAS initializes at tau_max
+
+    eta_beta_.assign(n_ * n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (i == j) continue;
+            const double d = std::max(tsp_.distance(i, j), 1e-9);
+            eta_beta_[i * n_ + j] = std::pow(1.0 / d, params_.beta);
+        }
+    }
+}
+
+void MaxMinAntSystem::update_trail_limits(double best_len) {
+    tau_max_ = 1.0 / (params_.rho * best_len);
+    tau_min_ = tau_max_ /
+               (params_.tau_min_divisor * static_cast<double>(n_));
+}
+
+std::vector<int> MaxMinAntSystem::construct_tour(std::uint64_t ant_id,
+                                                 std::uint64_t iteration) {
+    // Distinct stage bit keeps MMAS streams independent of plain AS runs
+    // with the same seed.
+    rng::Stream stream(params_.seed ^ 0x4D4D4153ull, rng::Stage::kAnts,
+                       ant_id, iteration);
+    std::vector<bool> visited(n_, false);
+    std::vector<int> tour;
+    tour.reserve(n_);
+    int cur =
+        static_cast<int>(stream.next_below(static_cast<std::uint32_t>(n_)));
+    visited[static_cast<std::size_t>(cur)] = true;
+    tour.push_back(cur);
+
+    std::vector<double> weights(n_);
+    for (std::size_t step = 1; step < n_; ++step) {
+        const auto ci = static_cast<std::size_t>(cur);
+        for (std::size_t j = 0; j < n_; ++j) {
+            weights[j] = visited[j]
+                             ? 0.0
+                             : std::pow(tau_[ci * n_ + j], params_.alpha) *
+                                   eta_beta_[ci * n_ + j];
+        }
+        int next = rng::roulette(stream, weights.data(),
+                                 static_cast<int>(n_));
+        if (next < 0) {
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (visited[j]) continue;
+                const double d = tsp_.distance(ci, j);
+                if (d < best) {
+                    best = d;
+                    next = static_cast<int>(j);
+                }
+            }
+        }
+        visited[static_cast<std::size_t>(next)] = true;
+        tour.push_back(next);
+        cur = next;
+    }
+    return tour;
+}
+
+double MaxMinAntSystem::iterate() {
+    double iter_best_len = std::numeric_limits<double>::infinity();
+    std::vector<int> iter_best_tour;
+    for (int k = 0; k < m_; ++k) {
+        auto tour = construct_tour(static_cast<std::uint64_t>(k), iteration_);
+        const double len = tsp_.tour_length(tour);
+        if (len < iter_best_len) {
+            iter_best_len = len;
+            iter_best_tour = std::move(tour);
+        }
+    }
+    if (iter_best_len < best_length_) {
+        best_length_ = iter_best_len;
+        best_tour_ = iter_best_tour;
+        best_iteration_ = static_cast<int>(iteration_);
+        update_trail_limits(best_length_);
+    }
+
+    // Evaporate, deposit from the elite ant only, clamp to [min, max].
+    for (auto& t : tau_) t *= (1.0 - params_.rho);
+    const auto& elite =
+        params_.use_global_best ? best_tour_ : iter_best_tour;
+    const double elite_len =
+        params_.use_global_best ? best_length_ : iter_best_len;
+    const double dtau = 1.0 / elite_len;
+    for (std::size_t i = 0; i < n_; ++i) {
+        const auto a = static_cast<std::size_t>(elite[i]);
+        const auto b = static_cast<std::size_t>(elite[(i + 1) % n_]);
+        tau_[a * n_ + b] += dtau;
+        tau_[b * n_ + a] += dtau;
+    }
+    for (auto& t : tau_) t = std::clamp(t, tau_min_, tau_max_);
+
+    ++iteration_;
+    return iter_best_len;
+}
+
+AntSystemResult MaxMinAntSystem::run(int iterations) {
+    AntSystemResult r;
+    r.best_by_iteration.reserve(static_cast<std::size_t>(iterations));
+    for (int it = 0; it < iterations; ++it) {
+        iterate();
+        r.best_by_iteration.push_back(best_length_);
+    }
+    r.best_tour = best_tour_;
+    r.best_length = best_length_;
+    r.best_iteration = best_iteration_;
+    return r;
+}
+
+}  // namespace pedsim::aco

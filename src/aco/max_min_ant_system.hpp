@@ -1,0 +1,59 @@
+// MAX-MIN Ant System (Stuetzle & Hoos, 2000) — the strongest classical AS
+// refinement and the natural upgrade path the paper's section VII leaves
+// open: only the best ant deposits, and pheromone is clamped to
+// [tau_min, tau_max] to prevent premature convergence.
+#pragma once
+
+#include "aco/ant_system.hpp"
+
+namespace pedsim::aco {
+
+struct MaxMinParams {
+    double alpha = 1.0;
+    double beta = 5.0;
+    double rho = 0.2;          ///< MMAS favours slower evaporation than AS
+    /// Deposit from the iteration-best (or global-best) ant: 1 / L.
+    bool use_global_best = false;
+    /// tau_max = 1 / (rho * L_best); tau_min = tau_max / (a * n).
+    double tau_min_divisor = 2.0;
+    int ants = 0;              ///< 0 = one per city
+    std::uint64_t seed = 1;
+};
+
+class MaxMinAntSystem {
+  public:
+    MaxMinAntSystem(const TspInstance& tsp, MaxMinParams params);
+
+    AntSystemResult run(int iterations);
+    double iterate();
+
+    [[nodiscard]] double tau_max() const { return tau_max_; }
+    [[nodiscard]] double tau_min() const { return tau_min_; }
+    [[nodiscard]] double pheromone_at(std::size_t i, std::size_t j) const {
+        return tau_[i * n_ + j];
+    }
+    [[nodiscard]] double best_length() const { return best_length_; }
+    [[nodiscard]] const std::vector<int>& best_tour() const {
+        return best_tour_;
+    }
+
+  private:
+    std::vector<int> construct_tour(std::uint64_t ant_id,
+                                    std::uint64_t iteration);
+    void update_trail_limits(double best_len);
+
+    const TspInstance& tsp_;
+    MaxMinParams params_;
+    std::size_t n_;
+    int m_;
+    std::vector<double> tau_;
+    std::vector<double> eta_beta_;
+    double tau_max_ = 0.0;
+    double tau_min_ = 0.0;
+    std::vector<int> best_tour_;
+    double best_length_;
+    int best_iteration_ = -1;
+    std::uint64_t iteration_ = 0;
+};
+
+}  // namespace pedsim::aco

@@ -1,0 +1,99 @@
+#include "aco/tsp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/stream.hpp"
+
+namespace pedsim::aco {
+
+double TspInstance::tour_length(const std::vector<int>& order) const {
+    if (order.size() != size()) {
+        throw std::invalid_argument("tour_length: wrong permutation size");
+    }
+    double len = 0.0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const auto a = static_cast<std::size_t>(order[i]);
+        const auto b =
+            static_cast<std::size_t>(order[(i + 1) % order.size()]);
+        len += distance(a, b);
+    }
+    return len;
+}
+
+TspInstance TspInstance::from_points(std::vector<double> xs,
+                                     std::vector<double> ys) {
+    if (xs.size() != ys.size() || xs.size() < 2) {
+        throw std::invalid_argument("from_points: need >= 2 matched points");
+    }
+    TspInstance t;
+    t.xs = std::move(xs);
+    t.ys = std::move(ys);
+    const std::size_t n = t.xs.size();
+    t.dist.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d =
+                std::hypot(t.xs[i] - t.xs[j], t.ys[i] - t.ys[j]);
+            t.dist[i * n + j] = d;
+            t.dist[j * n + i] = d;
+        }
+    }
+    return t;
+}
+
+TspInstance TspInstance::circle(std::size_t n, double radius) {
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = 2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(n);
+        xs[i] = radius * std::cos(a);
+        ys[i] = radius * std::sin(a);
+    }
+    return from_points(std::move(xs), std::move(ys));
+}
+
+double TspInstance::circle_optimum(std::size_t n, double radius) {
+    return 2.0 * static_cast<double>(n) * radius *
+           std::sin(M_PI / static_cast<double>(n));
+}
+
+TspInstance TspInstance::random_uniform(std::size_t n, double side,
+                                        std::uint64_t seed) {
+    rng::Stream s(seed, rng::Stage::kAnts, /*entity=*/0, /*step=*/0);
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = s.next_double() * side;
+        ys[i] = s.next_double() * side;
+    }
+    return from_points(std::move(xs), std::move(ys));
+}
+
+std::vector<int> nearest_neighbor_tour(const TspInstance& tsp, int start) {
+    const std::size_t n = tsp.size();
+    std::vector<bool> used(n, false);
+    std::vector<int> tour;
+    tour.reserve(n);
+    int cur = start;
+    used[static_cast<std::size_t>(cur)] = true;
+    tour.push_back(cur);
+    for (std::size_t k = 1; k < n; ++k) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_j = -1;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (used[j]) continue;
+            const double d = tsp.distance(static_cast<std::size_t>(cur), j);
+            if (d < best) {
+                best = d;
+                best_j = static_cast<int>(j);
+            }
+        }
+        cur = best_j;
+        used[static_cast<std::size_t>(cur)] = true;
+        tour.push_back(cur);
+    }
+    return tour;
+}
+
+}  // namespace pedsim::aco

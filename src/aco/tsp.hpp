@@ -1,0 +1,46 @@
+// TSP instances for the Ant System substrate.
+//
+// The paper's movement rule is "this AS used for the TSP ... modified in
+// our work for pedestrian movement decisions" (section II.B). We implement
+// the original Ant System against TSP instances with known optima, so the
+// transition rule (eq. 2) and pheromone update (eqs. 3-5) are validated in
+// the setting they were designed for before being re-targeted at agents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pedsim::aco {
+
+struct TspInstance {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    /// Dense symmetric distance matrix, row-major n x n.
+    std::vector<double> dist;
+
+    [[nodiscard]] std::size_t size() const { return xs.size(); }
+    [[nodiscard]] double distance(std::size_t i, std::size_t j) const {
+        return dist[i * size() + j];
+    }
+    /// Length of a closed tour visiting `order` (a permutation of 0..n-1).
+    [[nodiscard]] double tour_length(const std::vector<int>& order) const;
+
+    /// n cities equally spaced on a circle of radius r — the optimal tour
+    /// is the circle itself with known length 2 n r sin(pi / n).
+    static TspInstance circle(std::size_t n, double radius = 100.0);
+    [[nodiscard]] static double circle_optimum(std::size_t n,
+                                               double radius = 100.0);
+
+    /// n cities uniform in [0, side]^2 (seeded, reproducible).
+    static TspInstance random_uniform(std::size_t n, double side,
+                                      std::uint64_t seed);
+
+    /// Build from explicit coordinates.
+    static TspInstance from_points(std::vector<double> xs,
+                                   std::vector<double> ys);
+};
+
+/// Nearest-neighbour construction heuristic (baseline + tau0 seeding).
+std::vector<int> nearest_neighbor_tour(const TspInstance& tsp, int start = 0);
+
+}  // namespace pedsim::aco

@@ -1,0 +1,132 @@
+#include "aco/tsplib.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pedsim::aco {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/// Split "KEY : VALUE" (TSPLIB tolerates both "KEY:" and "KEY :").
+bool split_keyword(const std::string& line, std::string& key,
+                   std::string& value) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    key = trim(line.substr(0, colon));
+    value = trim(line.substr(colon + 1));
+    return true;
+}
+
+}  // namespace
+
+TspInstance read_tsplib(std::istream& in, std::string* name_out) {
+    std::string line, key, value, name;
+    long long dimension = -1;
+    bool euc2d = false;
+    std::vector<double> xs, ys;
+
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty()) continue;
+        if (t == "EOF") break;
+        if (t == "NODE_COORD_SECTION") {
+            if (dimension <= 0) {
+                throw std::runtime_error(
+                    "tsplib: NODE_COORD_SECTION before DIMENSION");
+            }
+            if (!euc2d) {
+                throw std::runtime_error(
+                    "tsplib: only EDGE_WEIGHT_TYPE EUC_2D is supported");
+            }
+            xs.resize(static_cast<std::size_t>(dimension));
+            ys.resize(static_cast<std::size_t>(dimension));
+            std::vector<bool> seen(static_cast<std::size_t>(dimension),
+                                   false);
+            for (long long i = 0; i < dimension; ++i) {
+                if (!std::getline(in, line)) {
+                    throw std::runtime_error("tsplib: truncated coords");
+                }
+                std::istringstream ls(line);
+                long long id;
+                double x, y;
+                if (!(ls >> id >> x >> y) || id < 1 || id > dimension) {
+                    throw std::runtime_error("tsplib: bad coord line: " +
+                                             line);
+                }
+                const auto idx = static_cast<std::size_t>(id - 1);
+                if (seen[idx]) {
+                    throw std::runtime_error("tsplib: duplicate node id");
+                }
+                seen[idx] = true;
+                xs[idx] = x;
+                ys[idx] = y;
+            }
+            continue;
+        }
+        if (!split_keyword(t, key, value)) continue;
+        if (key == "NAME") {
+            name = value;
+        } else if (key == "TYPE") {
+            if (value != "TSP") {
+                throw std::runtime_error("tsplib: TYPE must be TSP, got " +
+                                         value);
+            }
+        } else if (key == "DIMENSION") {
+            dimension = std::stoll(value);
+            if (dimension < 2) {
+                throw std::runtime_error("tsplib: DIMENSION must be >= 2");
+            }
+        } else if (key == "EDGE_WEIGHT_TYPE") {
+            euc2d = (value == "EUC_2D");
+            if (!euc2d) {
+                throw std::runtime_error(
+                    "tsplib: only EUC_2D edge weights are supported");
+            }
+        }
+        // COMMENT and unknown keys are ignored.
+    }
+    if (xs.empty()) {
+        throw std::runtime_error("tsplib: no NODE_COORD_SECTION found");
+    }
+    if (name_out != nullptr) *name_out = name;
+    return TspInstance::from_points(std::move(xs), std::move(ys));
+}
+
+TspInstance read_tsplib_file(const std::string& path,
+                             std::string* name_out) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("tsplib: cannot open " + path);
+    return read_tsplib(in, name_out);
+}
+
+void write_tsplib(std::ostream& out, const TspInstance& tsp,
+                  const std::string& name) {
+    out << "NAME : " << name << "\n"
+        << "TYPE : TSP\n"
+        << "COMMENT : written by pedsim\n"
+        << "DIMENSION : " << tsp.size() << "\n"
+        << "EDGE_WEIGHT_TYPE : EUC_2D\n"
+        << "NODE_COORD_SECTION\n";
+    out.precision(12);
+    for (std::size_t i = 0; i < tsp.size(); ++i) {
+        out << (i + 1) << ' ' << tsp.xs[i] << ' ' << tsp.ys[i] << '\n';
+    }
+    out << "EOF\n";
+}
+
+void write_tsplib_file(const std::string& path, const TspInstance& tsp,
+                       const std::string& name) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("tsplib: cannot open " + path);
+    write_tsplib(out, tsp, name);
+}
+
+}  // namespace pedsim::aco

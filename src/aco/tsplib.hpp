@@ -1,0 +1,31 @@
+// TSPLIB-format I/O (EUC_2D subset).
+//
+// The GPU-ACO literature the paper builds on (refs [14], [15]) validates
+// against TSPLIB instances; the paper notes its pedestrian adaptation has
+// no such benchmark. We support the format so the Ant System substrate can
+// be checked against standard instances when they are available, and so
+// generated instances round-trip through files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aco/tsp.hpp"
+
+namespace pedsim::aco {
+
+/// Parse a TSPLIB EUC_2D instance from a stream. Supported keywords:
+/// NAME, TYPE (TSP), COMMENT, DIMENSION, EDGE_WEIGHT_TYPE (EUC_2D),
+/// NODE_COORD_SECTION, EOF. Throws std::runtime_error on malformed input
+/// or unsupported edge-weight types.
+TspInstance read_tsplib(std::istream& in, std::string* name_out = nullptr);
+TspInstance read_tsplib_file(const std::string& path,
+                             std::string* name_out = nullptr);
+
+/// Write an instance in TSPLIB EUC_2D format.
+void write_tsplib(std::ostream& out, const TspInstance& tsp,
+                  const std::string& name);
+void write_tsplib_file(const std::string& path, const TspInstance& tsp,
+                       const std::string& name);
+
+}  // namespace pedsim::aco

@@ -1,0 +1,122 @@
+// Simulation configuration for the bi-directional pedestrian models.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/environment.hpp"
+#include "grid/placement.hpp"
+
+namespace pedsim::core {
+
+/// Movement model (paper sections II.A / II.B, III).
+enum class Model {
+    kLem,  ///< Least Effort Model, eq. (1)
+    kAco,  ///< modified Ant System, eqs. (2)-(5) with goal heuristic
+};
+
+/// LEM tuning. The paper draws "a random number from a normal distribution"
+/// to pick a rank (section IV.c); sigma controls how strongly the draw
+/// prefers the least-effort candidate (rank 0).
+struct LemParams {
+    double sigma = 1.0;
+};
+
+/// Modified-ACO tuning. The paper leaves alpha/beta/rho/Q unspecified;
+/// defaults follow Dorigo & Stuetzle's classic Ant System values, with the
+/// deposit Q and floor tau_min calibrated on the Fig. 6a medium-density
+/// scenarios (DESIGN.md section 6).
+struct AcoParams {
+    double alpha = 1.0;    ///< pheromone weight
+    double beta = 2.0;     ///< goal-heuristic weight
+    double rho = 0.10;     ///< evaporation rate per step, eq. (3)
+    double q = 1.0;        ///< deposit numerator, eq. (5): dtau = q / L_k
+    double tau0 = 0.1;     ///< initial pheromone level
+    double tau_min = 1e-3; ///< evaporation floor (avoids dead fields)
+};
+
+/// Panic alarm (paper section VII future work: "introduce a panic alarm to
+/// emulate some sort of crisis situation"). From `trigger_step` on, agents
+/// within `radius` of the epicentre abandon their goal and flee: empty
+/// neighbours are ranked by *descending* distance from the epicentre and
+/// chosen with the LEM rank draw; pheromone is ignored while panicked.
+struct PanicConfig {
+    bool enabled = false;
+    std::uint64_t trigger_step = 0;
+    int row = 0;
+    int col = 0;
+    double radius = 0.0;
+
+    [[nodiscard]] bool active(std::uint64_t step) const {
+        return enabled && step >= trigger_step;
+    }
+    [[nodiscard]] bool affects(int r, int c) const {
+        const double dr = r - row;
+        const double dc = c - col;
+        return dr * dr + dc * dc <= radius * radius;
+    }
+};
+
+/// Heterogeneous walking speeds (future work: "velocity and size of the
+/// pedestrians are kept constant in all the simulations"). A seeded
+/// fraction of agents is slow: they propose a move only every
+/// `slow_period`-th step (phase-shifted per agent to avoid lockstep).
+struct SpeedConfig {
+    double slow_fraction = 0.0;  ///< 0 = paper behaviour (homogeneous)
+    int slow_period = 2;         ///< slow agents act every k-th step
+};
+
+/// Separated scanning and movement ranges (future work: "separating the
+/// scanning ranges and moving ranges of the pedestrians"). Movement stays
+/// one cell, but candidates are scored with a look-ahead: the occupancy of
+/// the `range`-cell ray beyond each candidate (in the travel direction)
+/// discounts it, steering agents away from congestion they can see.
+struct ScanConfig {
+    int range = 1;                   ///< 1 = paper behaviour
+    double congestion_weight = 1.0;  ///< discount strength in [0, 1]
+};
+
+struct SimConfig {
+    grid::GridConfig grid;  ///< paper: 480x480
+
+    std::size_t agents_per_side = 1280;  ///< paper sweeps 1280..51200
+    /// Placement band depth per side; 0 = auto-size at max_band_fill.
+    int band_rows = 0;
+    double max_band_fill = 0.55;
+
+    Model model = Model::kLem;
+    LemParams lem;
+    AcoParams aco;
+
+    // Extensions (paper section VII); defaults reproduce the paper.
+    PanicConfig panic;
+    SpeedConfig speed;
+    ScanConfig scan;
+
+    std::uint64_t seed = 42;
+
+    /// An agent has crossed once within this many rows of the target edge;
+    /// 0 = auto (the placement band depth).
+    int cross_margin = 0;
+    /// Crossed agents leave the grid (paper counts crossings; arrivals do
+    /// not pile up on the target edge).
+    bool exit_on_cross = true;
+    /// Paper modification of Sarmady's LEM: an empty forward cell is taken
+    /// immediately, skipping the probabilistic draw. Applies to both
+    /// models; switchable for the ablation bench.
+    bool forward_priority = true;
+
+    /// Effective band depth after auto-sizing.
+    [[nodiscard]] int effective_band_rows() const {
+        if (band_rows > 0) return band_rows;
+        return grid::required_band_rows(agents_per_side, grid.cols,
+                                        max_band_fill);
+    }
+    [[nodiscard]] int effective_cross_margin() const {
+        return cross_margin > 0 ? cross_margin : effective_band_rows();
+    }
+    [[nodiscard]] std::size_t total_agents() const {
+        return 2 * agents_per_side;
+    }
+};
+
+}  // namespace pedsim::core

@@ -1,0 +1,68 @@
+#include "core/cpu_simulator.hpp"
+
+#include "core/rules.hpp"
+
+namespace pedsim::core {
+
+void CpuSimulator::stage_reset() {
+    scan_.reset();
+    props_.reset_futures();
+}
+
+void CpuSimulator::stage_initial_calc() {
+    // Row-major sweep of occupied cells: compute FRONT CELL and, when the
+    // front is blocked (or forward priority is disabled), the scan row.
+    for (int r = 0; r < env_.rows(); ++r) {
+        for (int c = 0; c < env_.cols(); ++c) {
+            const std::int32_t i = env_.index_at(r, c);
+            if (i <= 0) continue;
+            const auto idx = static_cast<std::size_t>(i);
+            const grid::Group g = props_.group_of(i);
+
+            const auto fwd = grid::kNeighborOffsets[static_cast<std::size_t>(
+                grid::forward_neighbor(g))];
+            const bool front_empty = env_.empty_or_wall(r + fwd.dr, c + fwd.dc);
+            props_.front_blocked[idx] = front_empty ? 0 : 1;
+
+            const bool panicked = panic_applies(r, c);
+            props_.panicked[idx] = panicked ? 1 : 0;
+            if (!panicked && config_.forward_priority && front_empty) continue;
+
+            scan_.count(i) =
+                static_cast<std::int8_t>(fill_scan_row(i, r, c, g));
+        }
+    }
+}
+
+void CpuSimulator::stage_tour_construction() {
+    for (std::size_t i = 1; i < props_.rows(); ++i) {
+        if (props_.active[i] == 0) continue;
+        decide_future(static_cast<std::int32_t>(i));
+    }
+}
+
+void CpuSimulator::stage_movement(std::vector<Move>& out_moves) {
+    // Scatter-to-gather: every empty cell collects the neighbours whose
+    // FUTURE cell is this cell and draws one winner on the cell's stream.
+    std::int32_t proposers[grid::kNeighborCount];
+    for (int r = 0; r < env_.rows(); ++r) {
+        for (int c = 0; c < env_.cols(); ++c) {
+            if (!env_.empty(r, c)) continue;
+            const int n = gather_proposers(env_, props_.future_row.data(),
+                                           props_.future_col.data(), r, c,
+                                           proposers);
+            if (n == 0) continue;
+            rng::Stream stream(config_.seed, rng::Stage::kMovement,
+                               static_cast<std::uint64_t>(env_.flat(r, c)),
+                               step_);
+            const int w = select_winner(stream, n);
+            out_moves.push_back({proposers[w], r, c});
+        }
+    }
+}
+
+std::unique_ptr<Simulator> make_cpu_simulator(const SimConfig& config) {
+    return std::make_unique<CpuSimulator>(config);
+}
+
+}  // namespace pedsim::core

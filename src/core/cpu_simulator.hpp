@@ -1,0 +1,23 @@
+// Sequential reference engine (the paper's single-threaded CPU baseline).
+//
+// Runs the identical four-stage pipeline as plain row-major loops. Used as
+// the measured-wall-clock comparator for Fig. 5b/5c and the functional
+// comparator for Fig. 6b.
+#pragma once
+
+#include "core/simulator.hpp"
+
+namespace pedsim::core {
+
+class CpuSimulator final : public Simulator {
+  public:
+    explicit CpuSimulator(const SimConfig& config) : Simulator(config) {}
+
+  protected:
+    void stage_reset() override;
+    void stage_initial_calc() override;
+    void stage_tour_construction() override;
+    void stage_movement(std::vector<Move>& out_moves) override;
+};
+
+}  // namespace pedsim::core

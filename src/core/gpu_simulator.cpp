@@ -1,0 +1,379 @@
+#include "core/gpu_simulator.hpp"
+
+#include "core/rules.hpp"
+#include "simt/launch.hpp"
+#include "simt/shared_tile.hpp"
+
+namespace pedsim::core {
+
+namespace {
+
+/// Branch/access site ids for the kernels (small dense ints per kernel).
+enum Site : int {
+    kSiteOccupied = 2,
+    kSiteFrontEmpty = 3,
+    kSiteEmptyCell = 4,
+    kSiteHasProposer = 5,
+    kAccessScan = 10,
+    kAccessProps = 11,
+    kAccessFuture = 12,
+    kAccessWinner = 13,
+};
+
+/// Shared memory of the initial-calculation / movement kernels: the mat and
+/// index tiles (paper Fig. 3) plus, for ACO, the two pheromone tiles (the
+/// paper fuses them into one 36x18 local matrix; two 18x18 tiles hold the
+/// same data).
+struct TileShared {
+    simt::HaloTile<std::uint8_t> occ;
+    simt::HaloTile<std::int32_t> idx;
+    simt::HaloTile<double> pher_top;
+    simt::HaloTile<double> pher_bottom;
+};
+
+/// Shared memory of the tour-construction kernel: 32 scan rows staged by
+/// the block's 8-lane rows (paper section IV.c).
+struct TourShared {
+    std::array<double, 32 * grid::kNeighborCount> values{};
+};
+
+constexpr std::uint8_t kWallOcc = 255;  // off-grid sentinel: occupied
+
+}  // namespace
+
+GpuSimulator::GpuSimulator(const SimConfig& config, GpuOptions options)
+    : Simulator(config),
+      options_(std::move(options)),
+      timing_(options_.device),
+      winner_(env_.config().cell_count(), 0) {}
+
+void GpuSimulator::record(const char* name, simt::Dim2 grid, simt::Dim2 block,
+                          simt::KernelStats stats) {
+    simt::LaunchRecord rec;
+    rec.kernel_name = name;
+    rec.grid_x = grid.x;
+    rec.grid_y = grid.y;
+    rec.block_x = block.x;
+    rec.block_y = block.y;
+    rec.modeled_seconds = timing_.seconds(stats);
+    rec.stats = std::move(stats);
+    log_.add(std::move(rec));
+}
+
+void GpuSimulator::stage_reset() {
+    // Supporting kernel (section IV.e): one thread per property/scan row.
+    const auto rows = static_cast<int>(props_.rows());
+    const simt::Dim2 block{256, 1};
+    const simt::Dim2 grid{(rows + block.x - 1) / block.x, 1};
+    auto stats = simt::launch<simt::NoShared>(
+        options_.device, grid, block, /*phases=*/1,
+        [&](simt::ThreadCtx& ctx, simt::NoShared&, int) {
+            const int i = ctx.global_x();
+            if (!ctx.branch(kSiteOccupied, i < rows)) return;
+            const auto idx = static_cast<std::size_t>(i);
+            props_.future_row[idx] = kNoFuture;
+            props_.future_col[idx] = kNoFuture;
+            scan_.count(i) = 0;
+            ctx.global_store(kAccessProps,
+                             reinterpret_cast<std::uint64_t>(
+                                 props_.future_row.data() + idx),
+                             sizeof(std::int32_t) * 2 + 1);
+        });
+    record("support_reset", grid, block, std::move(stats));
+}
+
+void GpuSimulator::stage_initial_calc() {
+    const simt::Dim2 block{simt::kTileEdge, simt::kTileEdge};
+    const simt::Dim2 grid{env_.cols() / simt::kTileEdge,
+                          env_.rows() / simt::kTileEdge};
+    const simt::GlobalView<std::uint8_t> occ_view{
+        env_.occupancy_raw().data(), env_.rows(), env_.cols()};
+    const simt::GlobalView<std::int32_t> idx_view{
+        env_.index_raw().data(), env_.rows(), env_.cols()};
+    const bool aco = config_.model == Model::kAco;
+    simt::GlobalView<double> ptop_view, pbot_view;
+    if (aco) {
+        ptop_view = {pher_->raw(grid::Group::kTop).data(), env_.rows(),
+                     env_.cols()};
+        pbot_view = {pher_->raw(grid::Group::kBottom).data(), env_.rows(),
+                     env_.cols()};
+    }
+
+    auto stats = simt::launch<TileShared>(
+        options_.device, grid, block, /*phases=*/2,
+        [&](simt::ThreadCtx& ctx, TileShared& sh, int phase) {
+            if (phase == 0) {
+                // Stage the tiles (paper Fig. 3). The index/pheromone tiles
+                // reuse the same remapping; walls read as occupied.
+                if (options_.remapped_halo_load) {
+                    sh.occ.load_halo_remapped(ctx, occ_view, kWallOcc);
+                    sh.idx.load_halo_remapped(ctx, idx_view, 0);
+                    if (aco) {
+                        sh.pher_top.load_halo_remapped(ctx, ptop_view, 0.0);
+                        sh.pher_bottom.load_halo_remapped(ctx, pbot_view, 0.0);
+                    }
+                } else {
+                    sh.occ.load_halo_naive(ctx, occ_view, kWallOcc);
+                    sh.idx.load_halo_naive(ctx, idx_view, 0);
+                    if (aco) {
+                        sh.pher_top.load_halo_naive(ctx, ptop_view, 0.0);
+                        sh.pher_bottom.load_halo_naive(ctx, pbot_view, 0.0);
+                    }
+                }
+                return;
+            }
+
+            // Phase 1: occupied-cell threads fill their agent's scan row;
+            // empty-cell threads fall through to the dump row (row 0), the
+            // paper's divergence-avoidance trick.
+            const int lr = ctx.thread_idx.y;
+            const int lc = ctx.thread_idx.x;
+            const int r = ctx.global_y();
+            const int c = ctx.global_x();
+            ctx.shared_load(1);
+            const bool occupied = sh.occ.at(lr, lc) != 0;
+            ctx.branch(kSiteOccupied, occupied);
+            // Divergence-free formulation: every thread runs the same code
+            // with its scan row = index (0 for empty cells).
+            const std::int32_t i = occupied ? sh.idx.at(lr, lc) : 0;
+            const grid::Group g =
+                occupied ? props_.group_of(i) : grid::Group::kTop;
+
+            auto tile_empty = [&](int nr, int nc) {
+                ctx.shared_load(1);
+                return sh.occ.at(nr - ctx.block_idx.y * simt::kTileEdge,
+                                 nc - ctx.block_idx.x * simt::kTileEdge) == 0;
+            };
+
+            const auto fwd = grid::kNeighborOffsets[static_cast<std::size_t>(
+                grid::forward_neighbor(g))];
+            const bool front_empty = tile_empty(r + fwd.dr, c + fwd.dc);
+            if (occupied) {
+                props_.front_blocked[static_cast<std::size_t>(i)] =
+                    front_empty ? 0 : 1;
+            }
+            ctx.global_store(
+                kAccessProps,
+                reinterpret_cast<std::uint64_t>(props_.front_blocked.data() +
+                                                (occupied ? i : 0)),
+                1);
+
+            const bool panicked = occupied && panic_applies(r, c);
+            if (occupied) props_.panicked[static_cast<std::size_t>(i)] =
+                panicked ? 1 : 0;
+
+            const bool needs_scan =
+                occupied &&
+                (panicked || !(config_.forward_priority && front_empty));
+            ctx.branch(kSiteFrontEmpty, needs_scan);
+            if (!needs_scan) return;
+
+            if (panicked || config_.scan.range > 1) {
+                // Extension paths (panic flee, look-ahead scanning) reach
+                // beyond the 1-cell halo, so they read global memory; the
+                // shared env-backed builder keeps both engines identical.
+                ctx.instr(static_cast<std::uint32_t>(
+                    24 * std::max(config_.scan.range, 1)));
+                ctx.global_load(kAccessProps,
+                                reinterpret_cast<std::uint64_t>(
+                                    env_.occupancy_raw().data() +
+                                    env_.flat(r, c)),
+                                static_cast<std::uint32_t>(
+                                    8 * std::max(config_.scan.range, 1)));
+                scan_.count(i) =
+                    static_cast<std::int8_t>(fill_scan_row(i, r, c, g));
+                ctx.global_store(
+                    kAccessScan,
+                    reinterpret_cast<std::uint64_t>(scan_.values(i)),
+                    static_cast<std::uint32_t>(grid::kNeighborCount *
+                                               sizeof(double)));
+                return;
+            }
+
+            ctx.instr(16);  // eq. (1)/(2) arithmetic per candidate batch
+            int n;
+            if (config_.model == Model::kLem) {
+                n = build_candidates_lem_t(tile_empty, df_, g, r, c,
+                                           scan_.values(i), scan_.cells(i));
+            } else {
+                auto tile_tau = [&](int nr, int nc) {
+                    ctx.shared_load(8);
+                    ctx.instr(40);  // two pow() + divide per candidate
+                    const auto& tile = g == grid::Group::kTop
+                                           ? sh.pher_top
+                                           : sh.pher_bottom;
+                    return tile.at(nr - ctx.block_idx.y * simt::kTileEdge,
+                                   nc - ctx.block_idx.x * simt::kTileEdge);
+                };
+                n = build_candidates_aco_t(tile_empty, tile_tau, df_,
+                                           config_.aco, g, r, c,
+                                           scan_.values(i), scan_.cells(i));
+            }
+            scan_.count(i) = static_cast<std::int8_t>(n);
+            ctx.global_store(kAccessScan,
+                             reinterpret_cast<std::uint64_t>(scan_.values(i)),
+                             static_cast<std::uint32_t>(
+                                 grid::kNeighborCount * sizeof(double)));
+        });
+    record("initial_calc", grid, block, std::move(stats));
+}
+
+void GpuSimulator::stage_tour_construction() {
+    // Paper section IV.c: 8 worker lanes per agent, 32 agents per block
+    // (8 x 32 = 256 threads; each warp covers 4 agent rows).
+    const auto n_agents = static_cast<int>(props_.agent_count());
+    const simt::Dim2 block{grid::kNeighborCount, 32};
+    const simt::Dim2 grid{(n_agents + block.y - 1) / block.y, 1};
+
+    auto stats = simt::launch<TourShared>(
+        options_.device, grid, block, /*phases=*/2,
+        [&](simt::ThreadCtx& ctx, TourShared& sh, int phase) {
+            const int agent_row = ctx.thread_idx.y;
+            const int lane_in_row = ctx.thread_idx.x;
+            const std::int32_t i =
+                ctx.block_idx.x * 32 + agent_row + 1;  // 1-based
+            const bool valid =
+                i <= n_agents && props_.active[static_cast<std::size_t>(i)];
+
+            if (phase == 0) {
+                // Each of the 8 lanes stages one scan slot (global ->
+                // shared); row 0 of the global scan matrix backs invalid
+                // rows so the load itself is branch-free.
+                const std::int32_t src = valid ? i : 0;
+                ctx.global_load(kAccessScan,
+                                reinterpret_cast<std::uint64_t>(
+                                    scan_.values(src) + lane_in_row),
+                                sizeof(double));
+                sh.values[static_cast<std::size_t>(agent_row) *
+                              grid::kNeighborCount +
+                          lane_in_row] = scan_.values(src)[lane_in_row];
+                ctx.shared_store(sizeof(double));
+                return;
+            }
+
+            // Phase 1: tree reduction over the row's 8 slots (denominator
+            // of eq. 2 / rank base of eq. 1), then lane 0 draws and writes
+            // the FUTURE cell.
+            if (lane_in_row < 4) ctx.shared_load(2 * sizeof(double));
+            ctx.instr(3);  // log2(8) reduction steps in lockstep
+            ctx.branch(kSiteFrontEmpty,
+                       valid && props_.front_blocked[static_cast<std::size_t>(
+                                    valid ? i : 0)] == 0);
+            if (lane_in_row != 0 || !valid) return;
+
+            const bool proposed = decide_future(i);
+            if (proposed) {
+                ctx.rng_draw(1);
+                ctx.global_store(
+                    kAccessFuture,
+                    reinterpret_cast<std::uint64_t>(props_.future_row.data() +
+                                                    i),
+                    sizeof(std::int32_t) * 2);
+            }
+        });
+    record("tour_construction", grid, block, std::move(stats));
+}
+
+void GpuSimulator::stage_movement(std::vector<Move>& out_moves) {
+    const simt::Dim2 block{simt::kTileEdge, simt::kTileEdge};
+    const simt::Dim2 grid{env_.cols() / simt::kTileEdge,
+                          env_.rows() / simt::kTileEdge};
+    const simt::GlobalView<std::uint8_t> occ_view{
+        env_.occupancy_raw().data(), env_.rows(), env_.cols()};
+    const simt::GlobalView<std::int32_t> idx_view{
+        env_.index_raw().data(), env_.rows(), env_.cols()};
+    const bool aco = config_.model == Model::kAco;
+
+    std::fill(winner_.begin(), winner_.end(), 0);
+
+    auto stats = simt::launch<TileShared>(
+        options_.device, grid, block, /*phases=*/2,
+        [&](simt::ThreadCtx& ctx, TileShared& sh, int phase) {
+            if (phase == 0) {
+                if (options_.remapped_halo_load) {
+                    sh.occ.load_halo_remapped(ctx, occ_view, kWallOcc);
+                    sh.idx.load_halo_remapped(ctx, idx_view, 0);
+                } else {
+                    sh.occ.load_halo_naive(ctx, occ_view, kWallOcc);
+                    sh.idx.load_halo_naive(ctx, idx_view, 0);
+                }
+                return;
+            }
+
+            const int lr = ctx.thread_idx.y;
+            const int lc = ctx.thread_idx.x;
+            const int r = ctx.global_y();
+            const int c = ctx.global_x();
+
+            if (aco) {
+                // Pheromone evaporation on the local tile (eq. 3): every
+                // internal thread scales its own element — uniform work.
+                ctx.shared_load(8);
+                ctx.instr(4);
+                ctx.shared_store(8);
+            }
+
+            ctx.shared_load(1);
+            const bool empty = sh.occ.at(lr, lc) == 0;
+            ctx.branch(kSiteEmptyCell, empty);
+            if (!empty) return;
+
+            // Gather: read the 8 neighbours' indices from the tile and
+            // their FUTURE cells from global memory (counting with logical
+            // operators — branch-free in the paper).
+            std::int32_t proposers[grid::kNeighborCount];
+            int n = 0;
+            for (const auto off : grid::kNeighborOffsets) {
+                ctx.shared_load(4);
+                const int nr = r + off.dr;
+                const int nc = c + off.dc;
+                if (!env_.in_bounds(nr, nc)) continue;
+                const std::int32_t j = sh.idx.at(lr + off.dr, lc + off.dc);
+                // Row 0 backs empty neighbours: branch-free future read.
+                ctx.global_load(kAccessFuture,
+                                reinterpret_cast<std::uint64_t>(
+                                    props_.future_row.data() + j),
+                                sizeof(std::int32_t) * 2);
+                ctx.instr(4);  // compare + predicated count
+                if (j > 0 && props_.future_row[static_cast<std::size_t>(j)] == r &&
+                    props_.future_col[static_cast<std::size_t>(j)] == c) {
+                    proposers[n++] = j;
+                }
+            }
+            if (!ctx.branch(kSiteHasProposer, n > 0)) return;
+
+            if (options_.atomic_movement) {
+                // Ablation cost model: each proposer would have issued a
+                // global atomic CAS on this cell.
+                for (int a = 0; a < n; ++a) ctx.atomic();
+            }
+            rng::Stream stream(config_.seed, rng::Stage::kMovement,
+                               static_cast<std::uint64_t>(env_.flat(r, c)),
+                               step_);
+            const int w = select_winner(stream, n);
+            if (n > 1) ctx.rng_draw(1);
+            winner_[env_.flat(r, c)] = proposers[w];
+            ctx.global_store(
+                kAccessWinner,
+                reinterpret_cast<std::uint64_t>(winner_.data() +
+                                                env_.flat(r, c)),
+                sizeof(std::int32_t));
+        });
+    record("movement", grid, block, std::move(stats));
+
+    // Host-side collection in row-major order — the same order the CPU
+    // engine emits, so downstream state evolves identically.
+    for (int r = 0; r < env_.rows(); ++r) {
+        for (int c = 0; c < env_.cols(); ++c) {
+            const std::int32_t w = winner_[env_.flat(r, c)];
+            if (w > 0) out_moves.push_back({w, r, c});
+        }
+    }
+}
+
+std::unique_ptr<Simulator> make_gpu_simulator(const SimConfig& config,
+                                              GpuOptions options) {
+    return std::make_unique<GpuSimulator>(config, std::move(options));
+}
+
+}  // namespace pedsim::core

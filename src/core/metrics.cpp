@@ -1,0 +1,70 @@
+#include "core/metrics.hpp"
+
+namespace pedsim::core {
+
+StepObserver ThroughputRecorder::observer() {
+    return [this](const StepResult& sr) {
+        const int crossings = sr.crossed_top + sr.crossed_bottom;
+        per_step_.push_back(crossings);
+        total_ += static_cast<std::uint64_t>(crossings);
+        return true;
+    };
+}
+
+std::int64_t ThroughputRecorder::steps_to_fraction(std::size_t population,
+                                                   double fraction) const {
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(population));
+    std::uint64_t acc = 0;
+    for (std::size_t s = 0; s < per_step_.size(); ++s) {
+        acc += static_cast<std::uint64_t>(per_step_[s]);
+        if (acc >= target) return static_cast<std::int64_t>(s);
+    }
+    return -1;
+}
+
+bool GridlockDetector::update(const StepResult& sr) {
+    if (gridlocked_) return true;
+    if (sr.moves == 0) {
+        if (++quiet_ >= window_) {
+            gridlocked_ = true;
+            since_ = static_cast<std::int64_t>(sr.step) - window_ + 1;
+        }
+    } else {
+        quiet_ = 0;
+    }
+    return gridlocked_;
+}
+
+std::vector<int> row_occupancy(const grid::Environment& env, grid::Group g) {
+    std::vector<int> hist(static_cast<std::size_t>(env.rows()), 0);
+    for (int r = 0; r < env.rows(); ++r) {
+        for (int c = 0; c < env.cols(); ++c) {
+            if (env.occupancy(r, c) == g) ++hist[static_cast<std::size_t>(r)];
+        }
+    }
+    return hist;
+}
+
+double mean_progress(const PropertyTable& props,
+                     const grid::DistanceField& df, grid::Group g,
+                     int grid_rows) {
+    (void)df;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < props.rows(); ++i) {
+        if (props.active[i] == 0 ||
+            props.group[i] != static_cast<std::uint8_t>(g)) {
+            continue;
+        }
+        const int r = props.row[i];
+        // Rows advanced from the starting edge toward the target.
+        sum += g == grid::Group::kTop
+                   ? static_cast<double>(r)
+                   : static_cast<double>(grid_rows - 1 - r);
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace pedsim::core

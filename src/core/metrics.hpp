@@ -1,0 +1,61 @@
+// Run-level instrumentation: throughput series, gridlock detection, and
+// occupancy profiles used by the Fig. 6 benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace pedsim::core {
+
+/// Records the per-step crossing counts of a run (the paper's throughput:
+/// "the number of pedestrians able to cross the environment and reach the
+/// other side and the number of time steps required").
+class ThroughputRecorder {
+  public:
+    /// Returns an observer to pass to Simulator::run. The recorder must
+    /// outlive the run.
+    [[nodiscard]] StepObserver observer();
+
+    [[nodiscard]] const std::vector<int>& per_step_crossings() const {
+        return per_step_;
+    }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    /// First step at which at least `fraction` of `population` had crossed,
+    /// or -1 if never reached.
+    [[nodiscard]] std::int64_t steps_to_fraction(std::size_t population,
+                                                 double fraction) const;
+
+  private:
+    std::vector<int> per_step_;
+    std::uint64_t total_ = 0;
+};
+
+/// Detects total gridlock: `window` consecutive steps without a single
+/// movement (paper section VI observes this above 51,200 agents).
+class GridlockDetector {
+  public:
+    explicit GridlockDetector(int window = 50) : window_(window) {}
+    /// Feed a step result; returns true once gridlock is established.
+    bool update(const StepResult& sr);
+    [[nodiscard]] bool gridlocked() const { return gridlocked_; }
+    [[nodiscard]] std::int64_t since_step() const { return since_; }
+
+  private:
+    int window_;
+    int quiet_ = 0;
+    bool gridlocked_ = false;
+    std::int64_t since_ = -1;
+};
+
+/// Row-occupancy histogram of one group: how far its agents have advanced.
+std::vector<int> row_occupancy(const grid::Environment& env, grid::Group g);
+
+/// Mean progress (rows advanced toward the target, averaged over active
+/// agents of the group); 0 when the group has no active agents.
+double mean_progress(const PropertyTable& props,
+                     const grid::DistanceField& df, grid::Group g,
+                     int grid_rows);
+
+}  // namespace pedsim::core

@@ -1,0 +1,68 @@
+#include "core/rules.hpp"
+
+#include <cmath>
+
+namespace pedsim::core {
+
+int build_candidates_lem(const grid::Environment& env,
+                         const grid::DistanceField& df, grid::Group g, int r,
+                         int c, double* values, std::int8_t* cells) {
+    return build_candidates_lem_t(
+        [&](int nr, int nc) { return env.empty_or_wall(nr, nc); }, df, g, r,
+        c, values, cells);
+}
+
+int build_candidates_aco(const grid::Environment& env,
+                         const grid::DistanceField& df,
+                         const PheromoneField& pher, const AcoParams& params,
+                         grid::Group g, int r, int c, double* values,
+                         std::int8_t* cells) {
+    return build_candidates_aco_t(
+        [&](int nr, int nc) { return env.empty_or_wall(nr, nc); },
+        [&](int nr, int nc) { return pher.at(g, nr, nc); }, df, params, g, r,
+        c, values, cells);
+}
+
+int select_lem(rng::Stream& stream, int candidate_count, double sigma) {
+    return rng::lem_rank_draw(stream, candidate_count, sigma);
+}
+
+int select_aco(rng::Stream& stream, const double* values,
+               int candidate_count) {
+    return rng::roulette(stream, values, candidate_count);
+}
+
+int gather_proposers(const grid::Environment& env,
+                     const std::int32_t* future_row,
+                     const std::int32_t* future_col, int r, int c,
+                     std::int32_t* out) {
+    int n = 0;
+    for (const auto off : grid::kNeighborOffsets) {
+        const int nr = r + off.dr;
+        const int nc = c + off.dc;
+        if (!env.in_bounds(nr, nc)) continue;
+        const std::int32_t idx = env.index_at(nr, nc);
+        if (idx <= 0) continue;
+        if (future_row[idx] == r && future_col[idx] == c) {
+            out[n++] = idx;
+        }
+    }
+    return n;
+}
+
+int select_winner(rng::Stream& stream, int count) {
+    if (count <= 0) return -1;
+    if (count == 1) return 0;
+    return static_cast<int>(
+        stream.next_below(static_cast<std::uint32_t>(count)));
+}
+
+double step_length(int dr, int dc) {
+    return (dr != 0 && dc != 0) ? std::sqrt(2.0) : 1.0;
+}
+
+double deposit_amount(const AcoParams& params, double tour_len) {
+    return params.q / std::max(tour_len, 1.0);
+}
+
+}  // namespace pedsim::core

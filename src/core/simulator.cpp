@@ -1,0 +1,220 @@
+#include "core/simulator.hpp"
+
+#include <chrono>
+
+#include "core/rules.hpp"
+
+namespace pedsim::core {
+
+std::vector<grid::PlacedAgent> Simulator::init_agents(
+    grid::Environment& env, const SimConfig& config) {
+    grid::PlacementConfig pc;
+    pc.agents_per_side = config.agents_per_side;
+    pc.band_rows = config.effective_band_rows();
+    pc.max_band_fill = config.max_band_fill;
+    pc.seed = config.seed;
+    return grid::place_bidirectional(env, pc);
+}
+
+Simulator::Simulator(const SimConfig& config)
+    : config_(config),
+      env_(config.grid),
+      df_(config.grid),
+      placed_(init_agents(env_, config_)),
+      props_(placed_),
+      scan_(placed_.size()) {
+    if (config_.model == Model::kAco) {
+        pher_ = std::make_unique<PheromoneField>(
+            config_.grid, config_.aco.tau0, config_.aco.tau_min);
+    }
+    // Heterogeneous speeds: a seeded fraction of agents is slow.
+    if (config_.speed.slow_fraction > 0.0) {
+        for (std::size_t i = 1; i < props_.rows(); ++i) {
+            rng::Stream s(config_.seed, rng::Stage::kPlacement, i,
+                          /*step=*/0xFEEDu);
+            props_.speed_class[i] =
+                s.next_double() < config_.speed.slow_fraction ? 1 : 0;
+        }
+    }
+}
+
+int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
+    auto empty = [&](int rr, int cc) { return env_.empty_or_wall(rr, cc); };
+    const auto idx = static_cast<std::size_t>(i);
+    if (props_.panicked[idx] != 0) {
+        return build_candidates_flee_t(empty, config_.panic, g, r, c,
+                                       scan_.values(i), scan_.cells(i));
+    }
+    if (config_.model == Model::kLem) {
+        if (config_.scan.range > 1) {
+            return build_candidates_lem_scan_t(empty, df_, config_.scan,
+                                               config_.grid, g, r, c,
+                                               scan_.values(i),
+                                               scan_.cells(i));
+        }
+        return build_candidates_lem(env_, df_, g, r, c, scan_.values(i),
+                                    scan_.cells(i));
+    }
+    auto tau = [&](int rr, int cc) { return pher_->at(g, rr, cc); };
+    if (config_.scan.range > 1) {
+        return build_candidates_aco_scan_t(empty, tau, df_, config_.aco,
+                                           config_.scan, config_.grid, g, r,
+                                           c, scan_.values(i),
+                                           scan_.cells(i));
+    }
+    return build_candidates_aco(env_, df_, *pher_, config_.aco, g, r, c,
+                                scan_.values(i), scan_.cells(i));
+}
+
+bool Simulator::decide_future(std::int32_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const grid::Group g = props_.group_of(i);
+    const int r = props_.row[idx];
+    const int c = props_.col[idx];
+
+    // Slow agents act only on their phase of the period (speed extension).
+    if (props_.speed_class[idx] != 0) {
+        const auto period =
+            static_cast<std::uint64_t>(std::max(config_.speed.slow_period, 1));
+        if ((step_ + idx) % period != 0) return false;
+    }
+
+    // Panicked agents flee on the rank draw over the flee-sorted scan row;
+    // goal, forward priority and pheromone do not apply while fleeing.
+    if (props_.panicked[idx] != 0) {
+        const int count = scan_.count(i);
+        if (count <= 0) return false;
+        rng::Stream stream(config_.seed, rng::Stage::kTourConstruction,
+                           static_cast<std::uint64_t>(i), step_);
+        const int slot = select_lem(stream, count, config_.lem.sigma);
+        const int k = scan_.cells(i)[slot];
+        const auto off = grid::kNeighborOffsets[static_cast<std::size_t>(k)];
+        props_.future_row[idx] = r + off.dr;
+        props_.future_col[idx] = c + off.dc;
+        return true;
+    }
+
+    // Forward priority (section III): an empty forward cell is taken
+    // without any probabilistic calculation.
+    if (config_.forward_priority && props_.front_blocked[idx] == 0) {
+        const auto off = grid::kNeighborOffsets[static_cast<std::size_t>(
+            grid::forward_neighbor(g))];
+        props_.future_row[idx] = r + off.dr;
+        props_.future_col[idx] = c + off.dc;
+        return true;
+    }
+
+    const int count = scan_.count(i);
+    if (count <= 0) return false;
+
+    rng::Stream stream(config_.seed, rng::Stage::kTourConstruction,
+                       static_cast<std::uint64_t>(i), step_);
+    int slot;
+    if (config_.model == Model::kLem) {
+        slot = select_lem(stream, count, config_.lem.sigma);
+    } else {
+        slot = select_aco(stream, scan_.values(i), count);
+        if (slot < 0) return false;
+    }
+    const int k = scan_.cells(i)[slot];
+    const auto off = grid::kNeighborOffsets[static_cast<std::size_t>(k)];
+    props_.future_row[idx] = r + off.dr;
+    props_.future_col[idx] = c + off.dc;
+    return true;
+}
+
+StepResult Simulator::step() {
+    StepResult res;
+    res.step = step_;
+
+    stage_reset();
+    stage_initial_calc();
+    stage_tour_construction();
+
+    for (std::size_t i = 1; i < props_.rows(); ++i) {
+        res.proposals += (props_.active[i] != 0 &&
+                          props_.future_row[i] != kNoFuture);
+    }
+
+    std::vector<Move> moves;
+    stage_movement(moves);
+    finish_step(moves, res);
+
+    ++step_;
+    return res;
+}
+
+void Simulator::finish_step(const std::vector<Move>& moves,
+                            StepResult& result) {
+    // Moves are disjoint by construction (an agent proposes exactly one
+    // cell; each cell picked at most one winner), so application order is
+    // irrelevant — we use row-major gather order in both engines.
+    for (const auto& m : moves) {
+        const auto idx = static_cast<std::size_t>(m.agent);
+        const int fr = props_.row[idx];
+        const int fc = props_.col[idx];
+        env_.move(fr, fc, m.to_row, m.to_col);
+        props_.tour_length[idx] +=
+            step_length(m.to_row - fr, m.to_col - fc);
+        props_.row[idx] = m.to_row;
+        props_.col[idx] = m.to_col;
+    }
+    result.moves = static_cast<int>(moves.size());
+    result.conflicts = result.proposals - result.moves;
+
+    // Pheromone update (eqs. 3-5): evaporate everywhere, then each mover
+    // deposits q / L_k on its new cell in its own group's field.
+    if (pher_) {
+        pher_->evaporate(config_.aco.rho);
+        for (const auto& m : moves) {
+            const auto idx = static_cast<std::size_t>(m.agent);
+            // Fleeing agents do not reinforce trails — their path is not a
+            // route recommendation for followers.
+            if (props_.panicked[idx] != 0) continue;
+            pher_->deposit(props_.group_of(m.agent), m.to_row, m.to_col,
+                           deposit_amount(config_.aco, props_.tour_length[idx]));
+        }
+    }
+
+    // Crossing: agents within the margin of the target edge are done.
+    const int margin = config_.effective_cross_margin();
+    for (const auto& m : moves) {
+        const auto idx = static_cast<std::size_t>(m.agent);
+        if (props_.crossed[idx] != 0) continue;
+        const grid::Group g = props_.group_of(m.agent);
+        if (!df_.crossed(g, props_.row[idx], margin)) continue;
+        props_.crossed[idx] = 1;
+        if (g == grid::Group::kTop) {
+            ++crossed_top_;
+            ++result.crossed_top;
+        } else {
+            ++crossed_bottom_;
+            ++result.crossed_bottom;
+        }
+        if (config_.exit_on_cross) {
+            env_.clear(props_.row[idx], props_.col[idx]);
+            props_.active[idx] = 0;
+        }
+    }
+}
+
+RunResult Simulator::run(int steps, const StepObserver& observer) {
+    RunResult rr;
+    const auto t0 = std::chrono::steady_clock::now();
+    const double modeled0 = modeled_seconds();
+    for (int s = 0; s < steps; ++s) {
+        const StepResult sr = step();
+        ++rr.steps_run;
+        rr.total_moves += static_cast<std::uint64_t>(sr.moves);
+        rr.total_conflicts += static_cast<std::uint64_t>(sr.conflicts);
+        if (observer && !observer(sr)) break;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    rr.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    rr.modeled_device_seconds = modeled_seconds() - modeled0;
+    rr.crossed_top = crossed_top_;
+    rr.crossed_bottom = crossed_bottom_;
+    return rr;
+}
+
+}  // namespace pedsim::core

@@ -1,0 +1,141 @@
+// Simulator interface: the four-stage per-step pipeline of section IV.
+//
+// Two engines implement the stage hooks:
+//   - CpuSimulator  — the paper's single-threaded reference (plain loops),
+//   - GpuSimulator  — the data-driven SIMT implementation (tiled kernels on
+//     the device simulator, with modeled timing).
+// Stage *semantics* and all stochastic choices are shared pure functions
+// keyed on (seed, entity, step), so both engines evolve bit-identically —
+// the property behind the paper's Fig. 6b CPU-vs-GPU validation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pheromone.hpp"
+#include "core/property_table.hpp"
+#include "core/scan_matrix.hpp"
+#include "grid/distance_field.hpp"
+#include "grid/environment.hpp"
+#include "grid/placement.hpp"
+
+namespace pedsim::core {
+
+/// One resolved movement: agent -> empty cell (from stage d's gather).
+struct Move {
+    std::int32_t agent;
+    int to_row;
+    int to_col;
+};
+
+struct StepResult {
+    std::uint64_t step = 0;
+    int proposals = 0;       ///< agents that wrote a FUTURE cell
+    int moves = 0;           ///< proposals that won their cell
+    int conflicts = 0;       ///< proposals lost to contention
+    int crossed_top = 0;     ///< agents that crossed this step
+    int crossed_bottom = 0;
+};
+
+struct RunResult {
+    int steps_run = 0;
+    std::size_t crossed_top = 0;     ///< cumulative over the run
+    std::size_t crossed_bottom = 0;
+    std::uint64_t total_moves = 0;
+    std::uint64_t total_conflicts = 0;
+    double wall_seconds = 0.0;        ///< measured host time
+    double modeled_device_seconds = 0.0;  ///< 0 for the CPU engine
+
+    [[nodiscard]] std::size_t crossed_total() const {
+        return crossed_top + crossed_bottom;
+    }
+};
+
+/// Observer invoked after every step; return false to stop the run early.
+using StepObserver = std::function<bool(const StepResult&)>;
+
+class Simulator {
+  public:
+    explicit Simulator(const SimConfig& config);
+    virtual ~Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Advance one time step through all four stages.
+    StepResult step();
+
+    /// Run `steps` steps (or until the observer stops the run).
+    RunResult run(int steps, const StepObserver& observer = {});
+
+    [[nodiscard]] const SimConfig& config() const { return config_; }
+    [[nodiscard]] const grid::Environment& environment() const { return env_; }
+    [[nodiscard]] const PropertyTable& properties() const { return props_; }
+    [[nodiscard]] const grid::DistanceField& distance_field() const {
+        return df_;
+    }
+    /// Null for LEM runs.
+    [[nodiscard]] const PheromoneField* pheromone() const {
+        return pher_.get();
+    }
+    [[nodiscard]] std::uint64_t current_step() const { return step_; }
+    [[nodiscard]] std::size_t crossed_total(grid::Group g) const {
+        return g == grid::Group::kTop ? crossed_top_ : crossed_bottom_;
+    }
+    /// Modeled device seconds accumulated so far (CPU engine: 0).
+    [[nodiscard]] virtual double modeled_seconds() const { return 0.0; }
+
+  protected:
+    // Stage hooks (paper section IV b-e). `out_moves` receives resolved
+    // movements in row-major cell order.
+    virtual void stage_reset() = 0;                       // supporting kernel
+    virtual void stage_initial_calc() = 0;                // IV.b
+    virtual void stage_tour_construction() = 0;           // IV.c
+    virtual void stage_movement(std::vector<Move>& out_moves) = 0;  // IV.d
+
+    /// Shared stage-d epilogue: apply the (disjoint) moves, update tour
+    /// lengths, evaporate + deposit pheromone (ACO), retire crossed agents.
+    void finish_step(const std::vector<Move>& moves, StepResult& result);
+
+    /// Decision core shared by both engines' tour-construction stages:
+    /// given agent i (active, on-grid), decide and write its FUTURE cell.
+    /// Returns true when a proposal was made.
+    bool decide_future(std::int32_t i);
+
+    /// Environment-backed scan-row fill handling all extension paths
+    /// (panic flee ranking, scanning-range look-ahead) plus the plain
+    /// LEM/ACO builders. Both engines call this for extension paths, so
+    /// bit-parity holds with every feature enabled. Returns the count.
+    int fill_scan_row(std::int32_t i, int r, int c, grid::Group g);
+
+    /// True when agent i flees this step (panic active and in radius).
+    [[nodiscard]] bool panic_applies(int r, int c) const {
+        return config_.panic.active(step_) && config_.panic.affects(r, c);
+    }
+
+    /// Shared emptiness test for stage-b candidate building via env.
+    [[nodiscard]] bool cell_empty(int r, int c) const {
+        return env_.empty_or_wall(r, c);
+    }
+
+    SimConfig config_;
+    grid::Environment env_;
+    grid::DistanceField df_;
+    std::vector<grid::PlacedAgent> placed_;
+    PropertyTable props_;
+    ScanMatrix scan_;
+    std::unique_ptr<PheromoneField> pher_;
+    std::uint64_t step_ = 0;
+    std::size_t crossed_top_ = 0;
+    std::size_t crossed_bottom_ = 0;
+
+  private:
+    static std::vector<grid::PlacedAgent> init_agents(
+        grid::Environment& env, const SimConfig& config);
+};
+
+/// Factory: the paper's sequential CPU comparator.
+std::unique_ptr<Simulator> make_cpu_simulator(const SimConfig& config);
+
+}  // namespace pedsim::core

@@ -1,0 +1,16 @@
+#include "grid/distance_field.hpp"
+
+namespace pedsim::grid {
+
+DistanceField::DistanceField(GridConfig config) : config_(config) {
+    for (auto& group_table : table_) {
+        group_table.resize(static_cast<std::size_t>(config_.rows) + 1);
+        for (std::size_t vert = 0; vert < group_table.size(); ++vert) {
+            const double v = static_cast<double>(vert);
+            group_table[vert][0] = v;
+            group_table[vert][1] = std::sqrt(v * v + 1.0);
+        }
+    }
+}
+
+}  // namespace pedsim::grid

@@ -1,0 +1,61 @@
+// Distance-to-target geometry (the paper's constant-memory distance matrix).
+//
+// Each group's target is the far edge row. The effort of standing at cell
+// (r, c) is the Euclidean distance to the closest point of the target row,
+// which for a straight-ahead walker is the point (target_row, c). Moving to
+// a lateral/diagonal neighbour adds a column displacement, so neighbour
+// distances order exactly as the paper describes (section IV.b): forward <
+// forward-diagonals < laterals < back < back-diagonals.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "grid/environment.hpp"
+#include "grid/neighborhood.hpp"
+
+namespace pedsim::grid {
+
+/// Precomputed distance tables for both groups. Immutable after
+/// construction — the paper stores the equivalent in GPU constant memory.
+class DistanceField {
+  public:
+    explicit DistanceField(GridConfig config);
+
+    [[nodiscard]] int target_row(Group g) const {
+        return g == Group::kTop ? config_.rows - 1 : 0;
+    }
+
+    /// Remaining-effort distance of standing at row r with lateral
+    /// displacement dc relative to the agent's current column.
+    /// dc in {-1, 0, +1} for the 8-neighbourhood.
+    [[nodiscard]] double distance(Group g, int r, int dc) const {
+        const int vert = std::abs(target_row(g) - r);
+        // Hot path: the three possible hypotenuses per row are precomputed.
+        return table_[g == Group::kTop ? 0 : 1][static_cast<std::size_t>(vert)]
+                     [static_cast<std::size_t>(std::abs(dc))];
+    }
+
+    /// Distance of neighbour cell #k (0-based index into kNeighborOffsets)
+    /// of an agent at (r, c) — clamps are the caller's job; this is pure
+    /// geometry.
+    [[nodiscard]] double neighbor_distance(Group g, int r, int k) const {
+        const auto off = kNeighborOffsets[static_cast<std::size_t>(k)];
+        return distance(g, r + off.dr, off.dc);
+    }
+
+    /// True once an agent at row r has reached (or passed) the crossing
+    /// line: within `margin` rows of the target edge.
+    [[nodiscard]] bool crossed(Group g, int r, int margin) const {
+        return g == Group::kTop ? r >= config_.rows - margin : r < margin;
+    }
+
+  private:
+    GridConfig config_;
+    // [group][|target_row - r|][|dc|] -> Euclidean distance. The vertical
+    // distance fully determines the value, so one row-indexed table per
+    // group suffices (and stays cache-resident like constant memory).
+    std::array<std::vector<std::array<double, 2>>, 2> table_;
+};
+
+}  // namespace pedsim::grid

@@ -1,0 +1,51 @@
+#include "grid/environment.hpp"
+
+namespace pedsim::grid {
+
+Environment::Environment(GridConfig config) : config_(config) {
+    if (!config_.tile_aligned()) {
+        throw std::invalid_argument(
+            "Environment dimensions must be positive multiples of the 16-cell "
+            "tile edge (paper section IV.a)");
+    }
+    occupancy_.assign(config_.cell_count(), 0);
+    index_.assign(config_.cell_count(), 0);
+}
+
+void Environment::place(int r, int c, Group g, std::int32_t index) {
+    if (!in_bounds(r, c)) throw std::out_of_range("place: off-grid");
+    if (g == Group::kNone || index <= 0) {
+        throw std::invalid_argument("place: needs a real group and 1-based index");
+    }
+    if (!empty(r, c)) throw std::logic_error("place: cell already occupied");
+    occupancy_[flat(r, c)] = static_cast<std::uint8_t>(g);
+    index_[flat(r, c)] = index;
+}
+
+void Environment::clear(int r, int c) {
+    if (!in_bounds(r, c)) throw std::out_of_range("clear: off-grid");
+    occupancy_[flat(r, c)] = 0;
+    index_[flat(r, c)] = 0;
+}
+
+void Environment::move(int fr, int fc, int tr, int tc) {
+    if (!in_bounds(fr, fc) || !in_bounds(tr, tc)) {
+        throw std::out_of_range("move: off-grid");
+    }
+    const auto from = flat(fr, fc);
+    const auto to = flat(tr, tc);
+    if (occupancy_[from] == 0) throw std::logic_error("move: source empty");
+    if (occupancy_[to] != 0) throw std::logic_error("move: target occupied");
+    occupancy_[to] = occupancy_[from];
+    index_[to] = index_[from];
+    occupancy_[from] = 0;
+    index_[from] = 0;
+}
+
+std::size_t Environment::population() const {
+    std::size_t n = 0;
+    for (const auto v : occupancy_) n += (v != 0);
+    return n;
+}
+
+}  // namespace pedsim::grid

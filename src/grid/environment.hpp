@@ -1,0 +1,100 @@
+// The simulation environment: the paper's `mat` occupancy matrix plus the
+// parallel index matrix that maps an occupied cell to the row of the
+// property/scan matrices describing its agent (section IV.a, Fig. 2a/2b).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "grid/neighborhood.hpp"
+
+namespace pedsim::grid {
+
+/// Geometry of the environment. The paper fixes 480x480 and requires
+/// dimensions to be multiples of the 16x16 tile edge.
+struct GridConfig {
+    int rows = 480;
+    int cols = 480;
+
+    /// Paper tile edge (16x16 threads = 256 = full occupancy block on
+    /// compute capability 2.0).
+    static constexpr int kTileEdge = 16;
+
+    [[nodiscard]] bool tile_aligned() const {
+        return rows % kTileEdge == 0 && cols % kTileEdge == 0 && rows > 0 &&
+               cols > 0;
+    }
+    [[nodiscard]] std::size_t cell_count() const {
+        return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    }
+
+    bool operator==(const GridConfig&) const = default;
+};
+
+/// Occupancy + index state of the grid. Cheap to copy (two flat vectors);
+/// the engines snapshot it when they need a frozen view of a step.
+class Environment {
+  public:
+    explicit Environment(GridConfig config);
+
+    [[nodiscard]] const GridConfig& config() const { return config_; }
+    [[nodiscard]] int rows() const { return config_.rows; }
+    [[nodiscard]] int cols() const { return config_.cols; }
+
+    [[nodiscard]] bool in_bounds(int r, int c) const {
+        return r >= 0 && r < config_.rows && c >= 0 && c < config_.cols;
+    }
+
+    /// Group label occupying cell (r, c); Group::kNone when empty.
+    [[nodiscard]] Group occupancy(int r, int c) const {
+        return static_cast<Group>(occupancy_[flat(r, c)]);
+    }
+    /// 1-based property-table row of the agent at (r, c); 0 when empty.
+    [[nodiscard]] std::int32_t index_at(int r, int c) const {
+        return index_[flat(r, c)];
+    }
+    [[nodiscard]] bool empty(int r, int c) const {
+        return occupancy_[flat(r, c)] == 0;
+    }
+
+    /// Out-of-bounds-tolerant variants: positions off the grid read as
+    /// occupied walls (an agent can never move off the edge).
+    [[nodiscard]] bool empty_or_wall(int r, int c) const {
+        return in_bounds(r, c) && empty(r, c);
+    }
+
+    void place(int r, int c, Group g, std::int32_t index);
+    void clear(int r, int c);
+    /// Move the contents of (fr, fc) to the empty cell (tr, tc).
+    void move(int fr, int fc, int tr, int tc);
+
+    [[nodiscard]] std::size_t flat(int r, int c) const {
+        return static_cast<std::size_t>(r) * config_.cols +
+               static_cast<std::size_t>(c);
+    }
+
+    /// Raw views for the SIMT kernels (device "global memory").
+    [[nodiscard]] const std::vector<std::uint8_t>& occupancy_raw() const {
+        return occupancy_;
+    }
+    [[nodiscard]] const std::vector<std::int32_t>& index_raw() const {
+        return index_;
+    }
+    [[nodiscard]] std::vector<std::uint8_t>& occupancy_raw() {
+        return occupancy_;
+    }
+    [[nodiscard]] std::vector<std::int32_t>& index_raw() { return index_; }
+
+    /// Number of occupied cells (linear scan; used by tests/invariants).
+    [[nodiscard]] std::size_t population() const;
+
+    bool operator==(const Environment&) const = default;
+
+  private:
+    GridConfig config_;
+    std::vector<std::uint8_t> occupancy_;  // Group labels, 0 = empty
+    std::vector<std::int32_t> index_;      // 1-based agent indices, 0 = empty
+};
+
+}  // namespace pedsim::grid

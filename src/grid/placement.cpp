@@ -1,0 +1,86 @@
+#include "grid/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/stream.hpp"
+
+namespace pedsim::grid {
+
+int required_band_rows(std::size_t agents, int cols, double max_fill) {
+    if (agents == 0) return 0;
+    if (cols <= 0 || max_fill <= 0.0 || max_fill > 1.0) {
+        throw std::invalid_argument("required_band_rows: bad cols/max_fill");
+    }
+    const double per_row = static_cast<double>(cols) * max_fill;
+    const auto rows = static_cast<int>(
+        std::ceil(static_cast<double>(agents) / per_row));
+    return std::max(rows, 1);
+}
+
+namespace {
+
+/// Sample `count` distinct cells from a band of `band_rows * cols` cells via
+/// a partial Fisher-Yates over cell ids — deterministic in the stream.
+std::vector<std::uint32_t> sample_band_cells(std::size_t count,
+                                             std::size_t band_cells,
+                                             rng::Stream& stream) {
+    std::vector<std::uint32_t> ids(band_cells);
+    for (std::size_t i = 0; i < band_cells; ++i) {
+        ids[i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto j =
+            i + stream.next_below(static_cast<std::uint32_t>(band_cells - i));
+        std::swap(ids[i], ids[j]);
+    }
+    ids.resize(count);
+    return ids;
+}
+
+}  // namespace
+
+std::vector<PlacedAgent> place_bidirectional(Environment& env,
+                                             const PlacementConfig& cfg) {
+    const int cols = env.cols();
+    const int band = cfg.band_rows > 0
+                         ? cfg.band_rows
+                         : required_band_rows(cfg.agents_per_side, cols,
+                                              cfg.max_band_fill);
+    const auto band_cells =
+        static_cast<std::size_t>(band) * static_cast<std::size_t>(cols);
+    if (cfg.agents_per_side > band_cells) {
+        throw std::invalid_argument("placement band too small for population");
+    }
+    if (2 * band > env.rows()) {
+        throw std::invalid_argument("placement bands overlap");
+    }
+
+    std::vector<PlacedAgent> agents;
+    agents.reserve(2 * cfg.agents_per_side);
+    std::int32_t next_index = 1;
+
+    const Group groups[2] = {Group::kTop, Group::kBottom};
+    for (int g = 0; g < 2; ++g) {
+        rng::Stream stream(cfg.seed, rng::Stage::kPlacement,
+                           /*entity=*/static_cast<std::uint64_t>(g),
+                           /*step=*/0);
+        const auto cells =
+            sample_band_cells(cfg.agents_per_side, band_cells, stream);
+        for (const auto cell : cells) {
+            const int band_row = static_cast<int>(cell) / cols;
+            const int col = static_cast<int>(cell) % cols;
+            // Top band occupies rows [0, band); bottom band the mirror.
+            const int row = groups[g] == Group::kTop
+                                ? band_row
+                                : env.rows() - 1 - band_row;
+            env.place(row, col, groups[g], next_index);
+            agents.push_back({next_index, groups[g], row, col});
+            ++next_index;
+        }
+    }
+    return agents;
+}
+
+}  // namespace pedsim::grid

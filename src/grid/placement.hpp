@@ -1,0 +1,40 @@
+// Initial placement (the paper's host-side data preparation, section IV.a):
+// agents of each group are placed uniformly at random but confined to a
+// band of rows at their own edge of the environment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/environment.hpp"
+
+namespace pedsim::grid {
+
+/// One placed agent, in placement (= property-table) order. Index 1..N is
+/// assigned top group first, then bottom, matching the paper's Fig. 2b
+/// walk of the matrix.
+struct PlacedAgent {
+    std::int32_t index;  ///< 1-based property/scan row
+    Group group;
+    int row;
+    int col;
+};
+
+struct PlacementConfig {
+    std::size_t agents_per_side = 1280;
+    /// Band depth in rows. 0 = auto: the smallest band that keeps fill
+    /// density at or below `max_band_fill`.
+    int band_rows = 0;
+    double max_band_fill = 0.55;
+    std::uint64_t seed = 42;
+};
+
+/// Rows needed for `agents` agents across `cols` columns at `max_fill`.
+int required_band_rows(std::size_t agents, int cols, double max_fill);
+
+/// Randomly place both groups into `env` (must be empty) and return the
+/// agents in index order. Throws if the population cannot fit.
+std::vector<PlacedAgent> place_bidirectional(Environment& env,
+                                             const PlacementConfig& cfg);
+
+}  // namespace pedsim::grid

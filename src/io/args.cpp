@@ -1,0 +1,52 @@
+#include "io/args.hpp"
+
+#include <stdexcept>
+
+namespace pedsim::io {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--", 0) == 0) {
+            const auto eq = a.find('=');
+            if (eq == std::string::npos) {
+                options_[a.substr(2)] = "true";
+            } else {
+                options_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+            }
+        } else {
+            positional_.push_back(a);
+        }
+    }
+}
+
+bool ArgParser::has(const std::string& key) const {
+    return options_.count(key) != 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& def) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? def : it->second;
+}
+
+long long ArgParser::get_int(const std::string& key, long long def) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return def;
+    return std::stoll(it->second);
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return def;
+    return std::stod(it->second);
+}
+
+bool ArgParser::get_bool(const std::string& key, bool def) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace pedsim::io

@@ -1,0 +1,35 @@
+// Tiny CLI argument parser shared by examples and bench harnesses.
+// Supports --key=value and --flag forms; anything else is positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pedsim::io {
+
+class ArgParser {
+  public:
+    ArgParser(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& def = "") const;
+    [[nodiscard]] long long get_int(const std::string& key,
+                                    long long def) const;
+    [[nodiscard]] double get_double(const std::string& key, double def) const;
+    [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+    [[nodiscard]] const std::vector<std::string>& positional() const {
+        return positional_;
+    }
+    [[nodiscard]] const std::string& program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace pedsim::io

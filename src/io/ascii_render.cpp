@@ -1,0 +1,49 @@
+#include "io/ascii_render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pedsim::io {
+
+std::string render(const grid::Environment& env, RenderOptions opts) {
+    const int block_r =
+        std::max(1, (env.rows() + opts.max_rows - 1) / opts.max_rows);
+    const int block_c =
+        std::max(1, (env.cols() + opts.max_cols - 1) / opts.max_cols);
+    const int out_rows = (env.rows() + block_r - 1) / block_r;
+    const int out_cols = (env.cols() + block_c - 1) / block_c;
+
+    std::ostringstream os;
+    if (opts.border) os << '+' << std::string(out_cols, '-') << "+\n";
+    for (int br = 0; br < out_rows; ++br) {
+        if (opts.border) os << '|';
+        for (int bc = 0; bc < out_cols; ++bc) {
+            int top = 0, bottom = 0, cells = 0;
+            for (int r = br * block_r;
+                 r < std::min((br + 1) * block_r, env.rows()); ++r) {
+                for (int c = bc * block_c;
+                     c < std::min((bc + 1) * block_c, env.cols()); ++c) {
+                    ++cells;
+                    const auto g = env.occupancy(r, c);
+                    top += (g == grid::Group::kTop);
+                    bottom += (g == grid::Group::kBottom);
+                }
+            }
+            char ch = ' ';
+            if (top > 0 && bottom > 0) {
+                ch = ':';
+            } else if (top > 0) {
+                ch = top * 2 >= cells ? 'V' : 'v';
+            } else if (bottom > 0) {
+                ch = bottom * 2 >= cells ? 'A' : '^';
+            }
+            os << ch;
+        }
+        if (opts.border) os << '|';
+        os << '\n';
+    }
+    if (opts.border) os << '+' << std::string(out_cols, '-') << "+\n";
+    return os.str();
+}
+
+}  // namespace pedsim::io

@@ -1,0 +1,23 @@
+// ASCII rendering of the environment for the visualizer example and for
+// debugging: top agents 'v' (walking down), bottom agents '^' (walking up),
+// with density downsampling for grids larger than the terminal.
+#pragma once
+
+#include <string>
+
+#include "grid/environment.hpp"
+
+namespace pedsim::io {
+
+struct RenderOptions {
+    int max_rows = 48;
+    int max_cols = 96;
+    bool border = true;
+};
+
+/// Render the grid; when the environment exceeds max dimensions, cells are
+/// pooled into blocks and the dominant group (by count) is shown, using
+/// ':' for mixed blocks and shade characters for density.
+std::string render(const grid::Environment& env, RenderOptions opts = {});
+
+}  // namespace pedsim::io

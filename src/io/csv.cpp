@@ -1,0 +1,23 @@
+#include "io/csv.hpp"
+
+#include <stdexcept>
+
+namespace pedsim::io {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+    if (!out_) {
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    }
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+    bool first = true;
+    for (const auto& n : names) {
+        if (!first) out_ << ',';
+        first = false;
+        out_ << n;
+    }
+    out_ << '\n';
+}
+
+}  // namespace pedsim::io

@@ -1,0 +1,56 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pedsim::io {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string TablePrinter::integer(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::str() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t j = 0; j < headers_.size(); ++j) {
+        width[j] = headers_[j].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t j = 0; j < row.size(); ++j) {
+            width[j] = std::max(width[j], row[j].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t j = 0; j < cells.size(); ++j) {
+            os << (j == 0 ? "" : "  ");
+            os << cells[j];
+            os << std::string(width[j] - cells[j].size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (const auto w : width) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace pedsim::io

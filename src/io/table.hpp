@@ -1,0 +1,29 @@
+// Aligned console tables: the benches print the same rows/series the
+// paper's figures plot, in a shape diff-able across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pedsim::io {
+
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Format helpers.
+    static std::string num(double v, int precision = 2);
+    static std::string integer(long long v);
+
+    /// Render with column alignment and a header rule.
+    [[nodiscard]] std::string str() const;
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pedsim::io

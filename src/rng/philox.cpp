@@ -1,0 +1,30 @@
+#include "rng/philox.hpp"
+
+namespace pedsim::rng {
+
+// Compile-time known-answer checks against the Random123 distribution's
+// kat_vectors for philox4x32-10. A failure here is a build error, so a
+// miscompiled or edited Philox can never produce silently wrong streams.
+namespace {
+
+constexpr bool kat(Philox4x32::Counter ctr, Philox4x32::Key key,
+                   Philox4x32::Output want) {
+    const auto got = Philox4x32::generate(ctr, key);
+    return got == want;
+}
+
+static_assert(kat({0u, 0u, 0u, 0u}, {0u, 0u},
+                  {0x6627e8d5u, 0xe169c58du, 0xbc57ac4cu, 0x9b00dbd8u}),
+              "philox4x32-10 zero-vector KAT failed");
+static_assert(kat({0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+                  {0xffffffffu, 0xffffffffu},
+                  {0x408f276du, 0x41c83b0eu, 0xa20bc7c6u, 0x6d5451fdu}),
+              "philox4x32-10 ones-vector KAT failed");
+static_assert(kat({0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+                  {0xa4093822u, 0x299f31d0u},
+                  {0xd16cfe09u, 0x94fdccebu, 0x5001e420u, 0x24126ea1u}),
+              "philox4x32-10 pi-vector KAT failed");
+
+}  // namespace
+
+}  // namespace pedsim::rng

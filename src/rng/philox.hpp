@@ -1,0 +1,60 @@
+// Philox4x32-10 counter-based pseudo-random generator.
+//
+// This is the same family CURAND exposes as CURAND_RNG_PSEUDO_PHILOX4_32_10
+// (Salmon et al., "Parallel random numbers: as easy as 1, 2, 3", SC'11).
+// A counter-based generator is the natural fit for the paper's data-driven
+// kernels: every (thread, step, stage) tuple owns an independent stream and
+// the produced values are independent of thread scheduling, which is what
+// makes the CPU and GPU-style engines bit-identical for the same seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pedsim::rng {
+
+/// 128-bit counter / 64-bit key block cipher evaluated for 10 rounds.
+/// Stateless: `generate` is a pure function of (counter, key).
+struct Philox4x32 {
+    using Counter = std::array<std::uint32_t, 4>;
+    using Key = std::array<std::uint32_t, 2>;
+    using Output = std::array<std::uint32_t, 4>;
+
+    static constexpr std::uint32_t kMult0 = 0xD2511F53u;
+    static constexpr std::uint32_t kMult1 = 0xCD9E8D57u;
+    static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+    static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+    static constexpr int kRounds = 10;
+
+    /// One Philox round: two 32x32->64 multiplies, xors with key/counter.
+    static constexpr Counter round(const Counter& ctr, const Key& key) {
+        const std::uint64_t p0 = static_cast<std::uint64_t>(kMult0) * ctr[0];
+        const std::uint64_t p1 = static_cast<std::uint64_t>(kMult1) * ctr[2];
+        const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+        const auto lo0 = static_cast<std::uint32_t>(p0);
+        const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+        const auto lo1 = static_cast<std::uint32_t>(p1);
+        return Counter{hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    }
+
+    /// Full 10-round keyed bijection of the counter block.
+    static constexpr Output generate(Counter ctr, Key key) {
+        for (int r = 0; r < kRounds; ++r) {
+            ctr = round(ctr, key);
+            key[0] += kWeyl0;
+            key[1] += kWeyl1;
+        }
+        return ctr;
+    }
+};
+
+/// SplitMix64 — used to derive well-mixed keys/counters from structured
+/// identifiers (seed, agent id, step, stage). Passes into Philox keys.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace pedsim::rng

@@ -1,0 +1,50 @@
+// Device architecture description used by the analytic timing model.
+//
+// The paper's testbed (Table I) is an NVIDIA GeForce GTX 560 Ti (Fermi,
+// compute capability 2.0, 448 CUDA cores @ 1.464 GHz, 1.25 GB GDDR5)
+// against an Intel Core i7-930 used single-threaded. We reproduce both as
+// data: the SIMT simulator executes kernels functionally and the spec below
+// converts its operation counts into modeled seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pedsim::simt {
+
+struct DeviceSpec {
+    std::string name = "generic-simt";
+
+    int sm_count = 14;            ///< streaming multiprocessors
+    int cores_per_sm = 32;        ///< SPs per SM
+    double clock_ghz = 1.464;     ///< shader clock
+    int warp_size = 32;
+    double ipc_per_core = 1.0;    ///< sustained lane-ops per core per cycle
+    std::size_t shared_mem_per_block = 48 * 1024;
+    int max_threads_per_block = 1024;
+
+    double dram_bandwidth_gbs = 152.0;  ///< GDDR5 320-bit @ 3.8 GT/s
+    int memory_transaction_bytes = 128; ///< coalesced segment size
+    double launch_overhead_us = 5.0;    ///< per kernel launch
+    /// Extra warp-instructions charged per divergent branch evaluation
+    /// (both sides of the branch are serialized on real SIMT hardware).
+    double divergence_penalty_instr = 8.0;
+
+    [[nodiscard]] int total_cores() const { return sm_count * cores_per_sm; }
+    /// Peak lane-operations per second.
+    [[nodiscard]] double lane_ops_per_sec() const {
+        return static_cast<double>(total_cores()) * clock_ghz * 1e9 *
+               ipc_per_core;
+    }
+
+    /// Paper Table I GPU: GeForce GTX 560 Ti (448-core Fermi edition).
+    static DeviceSpec gtx560ti();
+    /// A Kepler-class device (paper section VII future work) for the
+    /// forward-looking ablation.
+    static DeviceSpec kepler_gk110();
+    /// Paper Table I CPU, for documentation and the CPU cost model used in
+    /// sanity checks (the real CPU baseline is measured, not modeled).
+    static DeviceSpec corei7_930();
+};
+
+}  // namespace pedsim::simt

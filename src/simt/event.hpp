@@ -1,0 +1,32 @@
+// cudaEvent-style timers over modeled device time.
+//
+// The paper measures GPU time with cudaEventRecord/cudaEventElapsedTime.
+// Our device clock is the accumulated modeled seconds of the LaunchLog;
+// Event::record snapshots it and elapsed() reports the difference, so
+// harness code reads exactly like the CUDA host code it replaces.
+#pragma once
+
+#include "simt/stats.hpp"
+
+namespace pedsim::simt {
+
+class Event {
+  public:
+    void record(const LaunchLog& log) {
+        recorded_seconds_ = log.total_modeled_seconds();
+        valid_ = true;
+    }
+    [[nodiscard]] bool recorded() const { return valid_; }
+    [[nodiscard]] double seconds() const { return recorded_seconds_; }
+
+    /// Elapsed modeled milliseconds between two recorded events.
+    static double elapsed_ms(const Event& start, const Event& stop) {
+        return (stop.recorded_seconds_ - start.recorded_seconds_) * 1e3;
+    }
+
+  private:
+    double recorded_seconds_ = 0.0;
+    bool valid_ = false;
+};
+
+}  // namespace pedsim::simt

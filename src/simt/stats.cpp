@@ -1,0 +1,45 @@
+#include "simt/stats.hpp"
+
+namespace pedsim::simt {
+
+void LaunchLog::add(LaunchRecord rec) { records_.push_back(std::move(rec)); }
+
+double LaunchLog::total_modeled_seconds() const {
+    double t = 0.0;
+    for (const auto& r : records_) t += r.modeled_seconds;
+    return t;
+}
+
+KernelStats LaunchLog::total_stats() const {
+    KernelStats s;
+    for (const auto& r : records_) s.merge(r.stats);
+    return s;
+}
+
+std::vector<LaunchRecord> LaunchLog::by_kernel() const {
+    std::vector<LaunchRecord> agg;
+    for (const auto& r : records_) {
+        LaunchRecord* slot = nullptr;
+        for (auto& a : agg) {
+            if (a.kernel_name == r.kernel_name) {
+                slot = &a;
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            LaunchRecord fresh;
+            fresh.kernel_name = r.kernel_name;
+            fresh.grid_x = r.grid_x;
+            fresh.grid_y = r.grid_y;
+            fresh.block_x = r.block_x;
+            fresh.block_y = r.block_y;
+            agg.push_back(fresh);
+            slot = &agg.back();
+        }
+        slot->stats.merge(r.stats);
+        slot->modeled_seconds += r.modeled_seconds;
+    }
+    return agg;
+}
+
+}  // namespace pedsim::simt

@@ -1,0 +1,43 @@
+// Descriptive statistics over repeated simulation runs (the paper averages
+// every scenario over 10 repetitions).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace pedsim::stats {
+
+/// Welford online mean/variance accumulator — numerically stable for the
+/// long accumulations the throughput benches perform.
+class RunningStat {
+  public:
+    void add(double x) {
+        ++n_;
+        const double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+    }
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const {
+        return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+    }
+    [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+    /// Standard error of the mean.
+    [[nodiscard]] double sem() const {
+        return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+    }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double sample_variance(const std::vector<double>& xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+
+}  // namespace pedsim::stats

@@ -1,0 +1,163 @@
+#include "stats/glm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace pedsim::stats {
+
+double logit(double p) { return std::log(p / (1.0 - p)); }
+double inv_logit(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+namespace {
+
+double binomial_deviance(const std::vector<double>& k,
+                         const std::vector<double>& n,
+                         const std::vector<double>& mu) {
+    // 2 * sum [ k log(k/(n mu)) + (n-k) log((n-k)/(n(1-mu))) ].
+    double dev = 0.0;
+    for (std::size_t i = 0; i < k.size(); ++i) {
+        const double fitted = n[i] * mu[i];
+        if (k[i] > 0.0) dev += k[i] * std::log(k[i] / fitted);
+        const double miss = n[i] - k[i];
+        if (miss > 0.0) dev += miss * std::log(miss / (n[i] - fitted));
+    }
+    return 2.0 * dev;
+}
+
+}  // namespace
+
+GlmFit BinomialGlm::fit(const std::vector<BinomialObservation>& data) const {
+    if (data.empty()) throw std::invalid_argument("glm: no observations");
+    const std::size_t n_obs = data.size();
+    const std::size_t n_cov = data.front().covariates.size();
+    const std::size_t p = n_cov + 1;  // + intercept
+    if (n_obs < p) throw std::invalid_argument("glm: more columns than rows");
+
+    Matrix x(n_obs, p);
+    std::vector<double> k(n_obs), n(n_obs);
+    double total_k = 0.0, total_n = 0.0;
+    for (std::size_t i = 0; i < n_obs; ++i) {
+        const auto& obs = data[i];
+        if (obs.covariates.size() != n_cov) {
+            throw std::invalid_argument("glm: ragged covariates");
+        }
+        if (obs.trials <= 0.0 || obs.successes < 0.0 ||
+            obs.successes > obs.trials) {
+            throw std::invalid_argument("glm: bad successes/trials");
+        }
+        k[i] = obs.successes;
+        n[i] = obs.trials;
+        if (options_.continuity_correction &&
+            (k[i] == 0.0 || k[i] == n[i])) {
+            k[i] = k[i] == 0.0 ? 0.5 : n[i] - 0.5;
+        }
+        total_k += k[i];
+        total_n += n[i];
+        x(i, 0) = 1.0;
+        for (std::size_t j = 0; j < n_cov; ++j) x(i, j + 1) = obs.covariates[j];
+    }
+
+    GlmFit fit_result;
+    std::vector<double> beta(p, 0.0);
+    beta[0] = logit(std::clamp(total_k / total_n, 1e-6, 1.0 - 1e-6));
+
+    std::vector<double> eta(n_obs), mu(n_obs), w(n_obs), z(n_obs);
+    for (int it = 0; it < options_.max_iterations; ++it) {
+        for (std::size_t i = 0; i < n_obs; ++i) {
+            double e = 0.0;
+            for (std::size_t j = 0; j < p; ++j) e += x(i, j) * beta[j];
+            eta[i] = e;
+            mu[i] = std::clamp(inv_logit(e), 1e-10, 1.0 - 1e-10);
+            // IRLS weights and working response for the logit link:
+            // w = n mu (1-mu), z = eta + (k/n - mu) / (mu (1-mu)).
+            const double v = mu[i] * (1.0 - mu[i]);
+            w[i] = n[i] * v;
+            z[i] = eta[i] + (k[i] / n[i] - mu[i]) / v;
+        }
+        const Matrix a = xtwx(x, w);
+        const auto b = xtwz(x, w, z);
+        const Matrix l = cholesky(a);
+        const auto next = cholesky_solve(l, b);
+
+        // Converge on the coefficient step (robust to the deviance's
+        // floating-point floor when trial counts are huge).
+        double max_step = 0.0;
+        for (std::size_t j = 0; j < p; ++j) {
+            max_step = std::max(
+                max_step, std::fabs(next[j] - beta[j]) /
+                              (std::fabs(next[j]) + options_.tolerance));
+        }
+        beta = next;
+        fit_result.iterations = it + 1;
+        if (max_step < options_.tolerance * 1e3) {
+            fit_result.converged = true;
+            break;
+        }
+    }
+
+    // Final linear predictor, deviance and covariance.
+    for (std::size_t i = 0; i < n_obs; ++i) {
+        double e = 0.0;
+        for (std::size_t j = 0; j < p; ++j) e += x(i, j) * beta[j];
+        mu[i] = std::clamp(inv_logit(e), 1e-10, 1.0 - 1e-10);
+        w[i] = n[i] * mu[i] * (1.0 - mu[i]);
+    }
+    fit_result.deviance = binomial_deviance(k, n, mu);
+    {
+        // Null deviance: intercept-only model (closed form: pooled rate).
+        const double pooled =
+            std::clamp(total_k / total_n, 1e-10, 1.0 - 1e-10);
+        std::vector<double> mu0(n_obs, pooled);
+        fit_result.null_deviance = binomial_deviance(k, n, mu0);
+    }
+
+    const Matrix cov = cholesky_inverse(cholesky(xtwx(x, w)));
+    fit_result.beta = beta;
+    fit_result.std_error.resize(p);
+    fit_result.z_value.resize(p);
+    fit_result.p_value.resize(p);
+    for (std::size_t j = 0; j < p; ++j) {
+        fit_result.std_error[j] = std::sqrt(cov(j, j));
+        fit_result.z_value[j] =
+            fit_result.std_error[j] > 0.0 ? beta[j] / fit_result.std_error[j]
+                                          : 0.0;
+        fit_result.p_value[j] = normal_two_sided_p(fit_result.z_value[j]);
+    }
+
+    // Quasi-binomial: Pearson dispersion rescales the covariance; tests
+    // become Student-t on the residual degrees of freedom.
+    fit_result.df_residual = static_cast<double>(n_obs) -
+                             static_cast<double>(p);
+    double pearson = 0.0;
+    for (std::size_t i = 0; i < n_obs; ++i) {
+        const double fitted = n[i] * mu[i];
+        const double var = n[i] * mu[i] * (1.0 - mu[i]);
+        pearson += (k[i] - fitted) * (k[i] - fitted) / var;
+    }
+    fit_result.dispersion = fit_result.df_residual > 0.0
+                                ? std::max(pearson / fit_result.df_residual,
+                                           1.0)
+                                : 1.0;
+    const double scale = std::sqrt(fit_result.dispersion);
+    fit_result.quasi_std_error.resize(p);
+    fit_result.t_value.resize(p);
+    fit_result.quasi_p_value.resize(p);
+    for (std::size_t j = 0; j < p; ++j) {
+        fit_result.quasi_std_error[j] = fit_result.std_error[j] * scale;
+        fit_result.t_value[j] = fit_result.quasi_std_error[j] > 0.0
+                                    ? beta[j] / fit_result.quasi_std_error[j]
+                                    : 0.0;
+        fit_result.quasi_p_value[j] =
+            fit_result.df_residual > 0.0
+                ? student_t_two_sided_p(fit_result.t_value[j],
+                                        fit_result.df_residual)
+                : 1.0;
+    }
+    return fit_result;
+}
+
+}  // namespace pedsim::stats

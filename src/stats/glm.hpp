@@ -1,0 +1,76 @@
+// Binomial generalized linear model with logit link, fitted by iteratively
+// reweighted least squares (IRLS).
+//
+// This reproduces the paper's Fig. 6b significance analysis: "we can model
+// this scenario by a binomial glm, where the probability that an agent
+// crosses over is modeled with respect to the different number of agents
+// and an indicator for the simulation run being on either the CPU or GPU",
+// followed by a test on the platform coefficient (paper p = 0.6145).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/linalg.hpp"
+
+namespace pedsim::stats {
+
+/// One grouped-binomial observation: `successes` crossings out of `trials`
+/// agents, with covariates.
+struct BinomialObservation {
+    double successes = 0.0;
+    double trials = 0.0;
+    std::vector<double> covariates;  ///< without the intercept
+};
+
+struct GlmFit {
+    bool converged = false;
+    int iterations = 0;
+    /// Coefficients: [intercept, covariate...].
+    std::vector<double> beta;
+    std::vector<double> std_error;
+    std::vector<double> z_value;       ///< Wald z per coefficient
+    std::vector<double> p_value;       ///< two-sided
+    double deviance = 0.0;
+    double null_deviance = 0.0;
+
+    /// Quasi-binomial view. Grouped crossing counts are strongly
+    /// overdispersed (agents within one run are correlated — one jam stops
+    /// thousands), so the plain binomial Wald test is wildly overpowered.
+    /// The Pearson dispersion rescales the standard errors and the test
+    /// becomes a t-test on df_residual — the test the paper describes for
+    /// Fig. 6b ("test ... used a t-test, p-value = 0.6145").
+    double dispersion = 1.0;           ///< Pearson chi^2 / df_residual
+    double df_residual = 0.0;
+    std::vector<double> quasi_std_error;
+    std::vector<double> t_value;
+    std::vector<double> quasi_p_value; ///< two-sided, Student-t
+};
+
+class BinomialGlm {
+  public:
+    struct Options {
+        int max_iterations = 50;
+        double tolerance = 1e-9;
+        /// Half-count continuity correction applied to observations with
+        /// 0 or all successes (keeps the working response finite).
+        bool continuity_correction = true;
+    };
+
+    BinomialGlm() = default;
+    explicit BinomialGlm(const Options& options) : options_(options) {}
+
+    /// Fit the model; throws std::invalid_argument on malformed input and
+    /// std::runtime_error if the IRLS normal equations lose rank.
+    [[nodiscard]] GlmFit fit(
+        const std::vector<BinomialObservation>& data) const;
+
+  private:
+    Options options_;
+};
+
+/// Logistic helpers (exposed for tests).
+double logit(double p);
+double inv_logit(double x);
+
+}  // namespace pedsim::stats

@@ -1,0 +1,80 @@
+#include "stats/hypothesis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/special_functions.hpp"
+
+namespace pedsim::stats {
+
+TestResult welch_t_test(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+    if (a.size() < 2 || b.size() < 2) {
+        throw std::invalid_argument("welch_t_test: need >= 2 samples each");
+    }
+    const double na = static_cast<double>(a.size());
+    const double nb = static_cast<double>(b.size());
+    const double ma = mean(a);
+    const double mb = mean(b);
+    const double va = sample_variance(a);
+    const double vb = sample_variance(b);
+    const double se2 = va / na + vb / nb;
+    TestResult r;
+    if (se2 == 0.0) {
+        // Identical constant samples: no evidence of difference.
+        r.statistic = 0.0;
+        r.df = na + nb - 2.0;
+        r.p_value = ma == mb ? 1.0 : 0.0;
+        return r;
+    }
+    r.statistic = (ma - mb) / std::sqrt(se2);
+    // Welch-Satterthwaite degrees of freedom.
+    r.df = se2 * se2 /
+           (va * va / (na * na * (na - 1.0)) + vb * vb / (nb * nb * (nb - 1.0)));
+    r.p_value = student_t_two_sided_p(r.statistic, r.df);
+    return r;
+}
+
+TestResult paired_t_test(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+    if (a.size() != b.size() || a.size() < 2) {
+        throw std::invalid_argument("paired_t_test: need equal sizes >= 2");
+    }
+    std::vector<double> d(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] - b[i];
+    const double n = static_cast<double>(d.size());
+    const double md = mean(d);
+    const double vd = sample_variance(d);
+    TestResult r;
+    r.df = n - 1.0;
+    if (vd == 0.0) {
+        r.statistic = 0.0;
+        r.p_value = md == 0.0 ? 1.0 : 0.0;
+        return r;
+    }
+    r.statistic = md / std::sqrt(vd / n);
+    r.p_value = student_t_two_sided_p(r.statistic, r.df);
+    return r;
+}
+
+TestResult two_proportion_z_test(double k1, double n1, double k2, double n2) {
+    if (n1 <= 0.0 || n2 <= 0.0 || k1 < 0.0 || k2 < 0.0 || k1 > n1 || k2 > n2) {
+        throw std::invalid_argument("two_proportion_z_test: bad counts");
+    }
+    const double p1 = k1 / n1;
+    const double p2 = k2 / n2;
+    const double pooled = (k1 + k2) / (n1 + n2);
+    const double se =
+        std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+    TestResult r;
+    if (se == 0.0) {
+        r.p_value = p1 == p2 ? 1.0 : 0.0;
+        return r;
+    }
+    r.statistic = (p1 - p2) / se;
+    r.p_value = normal_two_sided_p(r.statistic);
+    return r;
+}
+
+}  // namespace pedsim::stats

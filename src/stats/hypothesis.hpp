@@ -1,0 +1,25 @@
+// Hypothesis tests used by the evaluation harnesses.
+#pragma once
+
+#include <vector>
+
+namespace pedsim::stats {
+
+struct TestResult {
+    double statistic = 0.0;
+    double df = 0.0;        ///< degrees of freedom (0 for z-tests)
+    double p_value = 1.0;   ///< two-sided
+};
+
+/// Welch's unequal-variance two-sample t-test.
+TestResult welch_t_test(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Paired t-test (a and b must have equal, >= 2, sizes).
+TestResult paired_t_test(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Two-proportion z-test on success counts k over trials n.
+TestResult two_proportion_z_test(double k1, double n1, double k2, double n2);
+
+}  // namespace pedsim::stats

@@ -1,0 +1,88 @@
+#include "stats/linalg.hpp"
+
+#include <cmath>
+
+namespace pedsim::stats {
+
+Matrix xtwx(const Matrix& x, const std::vector<double>& w) {
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+    if (w.size() != n) throw std::invalid_argument("xtwx: weight size");
+    Matrix out(p, p);
+    for (std::size_t a = 0; a < p; ++a) {
+        for (std::size_t b = a; b < p; ++b) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < n; ++i) s += x(i, a) * w[i] * x(i, b);
+            out(a, b) = s;
+            out(b, a) = s;
+        }
+    }
+    return out;
+}
+
+std::vector<double> xtwz(const Matrix& x, const std::vector<double>& w,
+                         const std::vector<double>& z) {
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+    if (w.size() != n || z.size() != n) {
+        throw std::invalid_argument("xtwz: size mismatch");
+    }
+    std::vector<double> out(p, 0.0);
+    for (std::size_t a = 0; a < p; ++a) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i) s += x(i, a) * w[i] * z[i];
+        out[a] = s;
+    }
+    return out;
+}
+
+Matrix cholesky(const Matrix& a) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n) throw std::invalid_argument("cholesky: not square");
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+        if (d <= 0.0) throw std::runtime_error("cholesky: matrix not SPD");
+        l(j, j) = std::sqrt(d);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+            l(i, j) = s / l(j, j);
+        }
+    }
+    return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+    const std::size_t n = l.rows();
+    if (b.size() != n) throw std::invalid_argument("cholesky_solve: size");
+    std::vector<double> y(n), x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+        y[i] = s / l(i, i);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+        x[ii] = s / l(ii, ii);
+    }
+    return x;
+}
+
+Matrix cholesky_inverse(const Matrix& l) {
+    const std::size_t n = l.rows();
+    Matrix inv(n, n);
+    // Solve A x = e_j column by column.
+    for (std::size_t j = 0; j < n; ++j) {
+        std::vector<double> e(n, 0.0);
+        e[j] = 1.0;
+        const auto col = cholesky_solve(l, e);
+        for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    }
+    return inv;
+}
+
+}  // namespace pedsim::stats

@@ -1,0 +1,55 @@
+// Minimal dense linear algebra for the IRLS solver: column-major matrix,
+// symmetric positive-definite solve via Cholesky, and inverse for the
+// coefficient covariance (standard errors of the Wald test).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pedsim::stats {
+
+class Matrix {
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+        return data_[c * rows_ + r];
+    }
+    [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+        return data_[c * rows_ + r];
+    }
+
+    [[nodiscard]] static Matrix identity(std::size_t n) {
+        Matrix m(n, n);
+        for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+        return m;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// A^T * diag(w) * A  (the IRLS normal-equations matrix).
+Matrix xtwx(const Matrix& x, const std::vector<double>& w);
+/// A^T * diag(w) * z.
+std::vector<double> xtwz(const Matrix& x, const std::vector<double>& w,
+                         const std::vector<double>& z);
+
+/// Cholesky factorization of a symmetric positive-definite matrix;
+/// throws std::runtime_error when the matrix is not SPD.
+Matrix cholesky(const Matrix& a);
+/// Solve A x = b given the Cholesky factor L (lower triangular).
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b);
+/// Inverse of A from its Cholesky factor.
+Matrix cholesky_inverse(const Matrix& l);
+
+}  // namespace pedsim::stats

@@ -1,0 +1,363 @@
+// Tests for the classic Ant System substrate (paper refs [9][10]): TSP
+// machinery, tour construction, pheromone dynamics, and convergence to
+// known optima — validating eqs. (2)-(5) before their pedestrian adaptation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <cstdio>
+#include <sstream>
+
+#include "aco/ant_system.hpp"
+#include "aco/max_min_ant_system.hpp"
+#include "aco/tsplib.hpp"
+#include "aco/tsp.hpp"
+
+namespace pedsim::aco {
+namespace {
+
+// --- TSP instances ----------------------------------------------------------
+
+TEST(Tsp, DistanceMatrixIsSymmetricWithZeroDiagonal) {
+    const auto tsp = TspInstance::random_uniform(20, 100.0, 3);
+    for (std::size_t i = 0; i < tsp.size(); ++i) {
+        EXPECT_DOUBLE_EQ(tsp.distance(i, i), 0.0);
+        for (std::size_t j = 0; j < tsp.size(); ++j) {
+            EXPECT_DOUBLE_EQ(tsp.distance(i, j), tsp.distance(j, i));
+        }
+    }
+}
+
+TEST(Tsp, TriangleInequalityHoldsForEuclidean) {
+    const auto tsp = TspInstance::random_uniform(15, 50.0, 7);
+    for (std::size_t i = 0; i < tsp.size(); ++i) {
+        for (std::size_t j = 0; j < tsp.size(); ++j) {
+            for (std::size_t k = 0; k < tsp.size(); ++k) {
+                EXPECT_LE(tsp.distance(i, j),
+                          tsp.distance(i, k) + tsp.distance(k, j) + 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Tsp, CircleOptimumFormula) {
+    const auto tsp = TspInstance::circle(12, 10.0);
+    std::vector<int> identity(12);
+    for (int i = 0; i < 12; ++i) identity[static_cast<std::size_t>(i)] = i;
+    EXPECT_NEAR(tsp.tour_length(identity), TspInstance::circle_optimum(12, 10.0),
+                1e-9);
+}
+
+TEST(Tsp, AnyPermutationIsAtLeastCircleOptimum) {
+    const auto tsp = TspInstance::circle(10, 10.0);
+    const double opt = TspInstance::circle_optimum(10, 10.0);
+    std::vector<int> perm{0, 5, 1, 6, 2, 7, 3, 8, 4, 9};  // star polygon
+    EXPECT_GT(tsp.tour_length(perm), opt);
+}
+
+TEST(Tsp, TourLengthRejectsWrongSize) {
+    const auto tsp = TspInstance::circle(8);
+    EXPECT_THROW(tsp.tour_length({0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Tsp, FromPointsValidation) {
+    EXPECT_THROW(TspInstance::from_points({1.0}, {1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(TspInstance::from_points({1.0, 2.0}, {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(Tsp, RandomUniformIsSeedDeterministic) {
+    const auto a = TspInstance::random_uniform(10, 100.0, 5);
+    const auto b = TspInstance::random_uniform(10, 100.0, 5);
+    const auto c = TspInstance::random_uniform(10, 100.0, 6);
+    EXPECT_EQ(a.xs, b.xs);
+    EXPECT_NE(a.xs, c.xs);
+}
+
+TEST(Tsp, NearestNeighborVisitsAllCitiesOnce) {
+    const auto tsp = TspInstance::random_uniform(25, 100.0, 11);
+    const auto tour = nearest_neighbor_tour(tsp);
+    ASSERT_EQ(tour.size(), 25u);
+    std::set<int> seen(tour.begin(), tour.end());
+    EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(Tsp, NearestNeighborBeatsRandomOrderOnAverage) {
+    const auto tsp = TspInstance::random_uniform(30, 100.0, 13);
+    std::vector<int> identity(30);
+    for (int i = 0; i < 30; ++i) identity[static_cast<std::size_t>(i)] = i;
+    EXPECT_LT(tsp.tour_length(nearest_neighbor_tour(tsp)),
+              tsp.tour_length(identity));
+}
+
+// --- Ant System -----------------------------------------------------------------
+
+TEST(AntSystem, RejectsDegenerateInstances) {
+    const auto tiny = TspInstance::from_points({0, 1}, {0, 0});
+    EXPECT_THROW(AntSystem(tiny, {}), std::invalid_argument);
+}
+
+TEST(AntSystem, ToursAreValidPermutations) {
+    const auto tsp = TspInstance::random_uniform(15, 100.0, 17);
+    AntSystemParams params;
+    params.seed = 3;
+    AntSystem as(tsp, params);
+    as.iterate();
+    const auto& best = as.best_tour();
+    ASSERT_EQ(best.size(), 15u);
+    std::set<int> seen(best.begin(), best.end());
+    EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(AntSystem, BestLengthIsMonotoneNonIncreasing) {
+    const auto tsp = TspInstance::random_uniform(20, 100.0, 19);
+    AntSystemParams params;
+    params.seed = 5;
+    AntSystem as(tsp, params);
+    const auto result = as.run(30);
+    for (std::size_t i = 1; i < result.best_by_iteration.size(); ++i) {
+        EXPECT_LE(result.best_by_iteration[i], result.best_by_iteration[i - 1]);
+    }
+}
+
+TEST(AntSystem, SolvesCircleToOptimum) {
+    // 16 cities on a circle: AS with standard parameters finds the ring.
+    const auto tsp = TspInstance::circle(16, 100.0);
+    AntSystemParams params;
+    params.seed = 7;
+    AntSystem as(tsp, params);
+    const auto result = as.run(60);
+    const double opt = TspInstance::circle_optimum(16, 100.0);
+    EXPECT_NEAR(result.best_length, opt, opt * 0.001);
+}
+
+TEST(AntSystem, BeatsNearestNeighborOnRandomInstances) {
+    const auto tsp = TspInstance::random_uniform(25, 100.0, 23);
+    const double nn = tsp.tour_length(nearest_neighbor_tour(tsp));
+    AntSystemParams params;
+    params.seed = 9;
+    AntSystem as(tsp, params);
+    const auto result = as.run(80);
+    EXPECT_LE(result.best_length, nn * 1.01);
+}
+
+TEST(AntSystem, PheromoneConcentratesOnBestTourEdges) {
+    const auto tsp = TspInstance::circle(12, 100.0);
+    AntSystemParams params;
+    params.seed = 11;
+    AntSystem as(tsp, params);
+    as.run(50);
+    // Mean pheromone on consecutive circle edges vs non-adjacent chords.
+    double ring = 0.0, chord = 0.0;
+    int nring = 0, nchord = 0;
+    const std::size_t n = tsp.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const bool adjacent = (j - i == 1) || (i == 0 && j == n - 1);
+            if (adjacent) {
+                ring += as.pheromone_at(i, j);
+                ++nring;
+            } else {
+                chord += as.pheromone_at(i, j);
+                ++nchord;
+            }
+        }
+    }
+    EXPECT_GT(ring / nring, 5.0 * (chord / nchord));
+}
+
+TEST(AntSystem, EvaporationBoundsPheromone) {
+    // With deposits bounded by m * q / L_min per iteration and geometric
+    // evaporation, tau is bounded; check no runaway growth.
+    const auto tsp = TspInstance::random_uniform(12, 100.0, 29);
+    AntSystemParams params;
+    params.seed = 13;
+    AntSystem as(tsp, params);
+    as.run(100);
+    for (const double t : as.pheromone()) {
+        EXPECT_TRUE(std::isfinite(t));
+        EXPECT_GE(t, 0.0);
+        EXPECT_LT(t, 1e6);
+    }
+}
+
+TEST(AntSystem, SeedReproducibility) {
+    const auto tsp = TspInstance::random_uniform(15, 100.0, 31);
+    AntSystemParams params;
+    params.seed = 17;
+    AntSystem a(tsp, params), b(tsp, params);
+    const auto ra = a.run(20);
+    const auto rb = b.run(20);
+    EXPECT_EQ(ra.best_tour, rb.best_tour);
+    EXPECT_DOUBLE_EQ(ra.best_length, rb.best_length);
+}
+
+TEST(AntSystem, HigherBetaSharpensGreediness) {
+    // With beta >> alpha the first iteration behaves near-greedy; its
+    // iteration-best should not be far above nearest-neighbour.
+    const auto tsp = TspInstance::random_uniform(20, 100.0, 37);
+    AntSystemParams greedy;
+    greedy.beta = 10.0;
+    greedy.seed = 19;
+    AntSystem as(tsp, greedy);
+    const double first = as.iterate();
+    const double nn = tsp.tour_length(nearest_neighbor_tour(tsp));
+    EXPECT_LT(first, nn * 1.3);
+}
+
+TEST(AntSystem, AntCountDefaultsToCityCount) {
+    const auto tsp = TspInstance::circle(9);
+    AntSystemParams params;
+    AntSystem as(tsp, params);
+    // Indirect check: one iteration deposits on exactly n tours — the
+    // total added pheromone equals sum over ants of q/L * 2n edges; just
+    // assert iterate() runs and finds a finite best.
+    EXPECT_TRUE(std::isfinite(as.iterate()));
+    EXPECT_EQ(as.best_tour().size(), 9u);
+}
+
+
+// --- MAX-MIN Ant System ------------------------------------------------------
+
+TEST(MaxMin, TrailLimitsAreOrderedAndRespected) {
+    const auto tsp = TspInstance::random_uniform(15, 100.0, 41);
+    MaxMinParams params;
+    params.seed = 3;
+    MaxMinAntSystem mmas(tsp, params);
+    mmas.run(25);
+    EXPECT_GT(mmas.tau_max(), mmas.tau_min());
+    for (std::size_t i = 0; i < tsp.size(); ++i) {
+        for (std::size_t j = 0; j < tsp.size(); ++j) {
+            if (i == j) continue;
+            EXPECT_GE(mmas.pheromone_at(i, j), mmas.tau_min() - 1e-12);
+            EXPECT_LE(mmas.pheromone_at(i, j), mmas.tau_max() + 1e-12);
+        }
+    }
+}
+
+TEST(MaxMin, SolvesCircleToOptimum) {
+    const auto tsp = TspInstance::circle(16, 100.0);
+    MaxMinParams params;
+    params.seed = 5;
+    MaxMinAntSystem mmas(tsp, params);
+    const auto result = mmas.run(60);
+    const double opt = TspInstance::circle_optimum(16, 100.0);
+    EXPECT_NEAR(result.best_length, opt, opt * 0.001);
+}
+
+TEST(MaxMin, TrailLimitsTightenAsBestImproves) {
+    const auto tsp = TspInstance::random_uniform(20, 100.0, 43);
+    MaxMinParams params;
+    params.seed = 7;
+    MaxMinAntSystem mmas(tsp, params);
+    const double tau_max_0 = mmas.tau_max();
+    mmas.run(40);
+    // tau_max = 1/(rho L_best): improving L_best raises tau_max.
+    EXPECT_GE(mmas.tau_max(), tau_max_0);
+}
+
+TEST(MaxMin, MatchesOrBeatsPlainAntSystem) {
+    // On a moderately hard random instance MMAS should not lose to AS
+    // given the same budget (elite deposits + bounded trails).
+    const auto tsp = TspInstance::random_uniform(30, 100.0, 47);
+    AntSystemParams as_params;
+    as_params.seed = 9;
+    AntSystem as(tsp, as_params);
+    MaxMinParams mm_params;
+    mm_params.seed = 9;
+    MaxMinAntSystem mmas(tsp, mm_params);
+    const double as_best = as.run(60).best_length;
+    const double mm_best = mmas.run(60).best_length;
+    EXPECT_LE(mm_best, as_best * 1.05);
+}
+
+TEST(MaxMin, RejectsDegenerateInstances) {
+    const auto tiny = TspInstance::from_points({0, 1}, {0, 0});
+    EXPECT_THROW(MaxMinAntSystem(tiny, {}), std::invalid_argument);
+}
+
+// --- TSPLIB I/O ----------------------------------------------------------------
+
+TEST(Tsplib, RoundTripPreservesGeometry) {
+    const auto original = TspInstance::random_uniform(12, 100.0, 53);
+    std::stringstream ss;
+    write_tsplib(ss, original, "roundtrip12");
+    std::string name;
+    const auto loaded = read_tsplib(ss, &name);
+    EXPECT_EQ(name, "roundtrip12");
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_NEAR(loaded.xs[i], original.xs[i], 1e-9);
+        EXPECT_NEAR(loaded.ys[i], original.ys[i], 1e-9);
+    }
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        for (std::size_t j = 0; j < loaded.size(); ++j) {
+            EXPECT_NEAR(loaded.distance(i, j), original.distance(i, j),
+                        1e-9);
+        }
+    }
+}
+
+TEST(Tsplib, ParsesHandWrittenInstance) {
+    std::stringstream ss(
+        "NAME : square4\n"
+        "COMMENT : unit square\n"
+        "TYPE : TSP\n"
+        "DIMENSION : 4\n"
+        "EDGE_WEIGHT_TYPE : EUC_2D\n"
+        "NODE_COORD_SECTION\n"
+        "1 0 0\n"
+        "2 0 1\n"
+        "3 1 1\n"
+        "4 1 0\n"
+        "EOF\n");
+    const auto tsp = read_tsplib(ss);
+    ASSERT_EQ(tsp.size(), 4u);
+    EXPECT_DOUBLE_EQ(tsp.distance(0, 2), std::sqrt(2.0));
+    // Optimal square tour = perimeter 4.
+    EXPECT_DOUBLE_EQ(tsp.tour_length({0, 1, 2, 3}), 4.0);
+}
+
+TEST(Tsplib, RejectsMalformedInput) {
+    {
+        std::stringstream ss("TYPE : TOUR\nDIMENSION : 3\n");
+        EXPECT_THROW(read_tsplib(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss(
+            "DIMENSION : 3\nEDGE_WEIGHT_TYPE : GEO\n");
+        EXPECT_THROW(read_tsplib(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss(
+            "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+            "NODE_COORD_SECTION\n1 0 0\n2 1 1\n");  // truncated
+        EXPECT_THROW(read_tsplib(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss("NAME : empty\nEOF\n");
+        EXPECT_THROW(read_tsplib(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss(
+            "DIMENSION : 2\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+            "NODE_COORD_SECTION\n1 0 0\n1 1 1\n");  // duplicate id
+        EXPECT_THROW(read_tsplib(ss), std::runtime_error);
+    }
+}
+
+TEST(Tsplib, FileRoundTrip) {
+    const auto tsp = TspInstance::circle(8, 50.0);
+    const std::string path = ::testing::TempDir() + "pedsim_circle8.tsp";
+    write_tsplib_file(path, tsp, "circle8");
+    const auto loaded = read_tsplib_file(path);
+    EXPECT_EQ(loaded.size(), 8u);
+    std::remove(path.c_str());
+    EXPECT_THROW(read_tsplib_file("/no/such/file.tsp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pedsim::aco

@@ -1,0 +1,306 @@
+// Unit tests for the shared decision rules (eqs. 1-5 as adapted in the
+// paper's section III) and the scatter-to-gather primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/property_table.hpp"
+#include "core/rules.hpp"
+
+namespace pedsim::core {
+namespace {
+
+using grid::Environment;
+using grid::GridConfig;
+using grid::Group;
+
+class RulesTest : public ::testing::Test {
+  protected:
+    RulesTest() : env_(GridConfig{32, 32}), df_(GridConfig{32, 32}) {}
+
+    Environment env_;
+    grid::DistanceField df_;
+    double values_[8];
+    std::int8_t cells_[8];
+};
+
+// --- LEM candidate building -------------------------------------------------
+
+TEST_F(RulesTest, LemAllNeighborsEmptyYieldsEight) {
+    env_.place(10, 10, Group::kTop, 1);
+    const int n = build_candidates_lem(env_, df_, Group::kTop, 10, 10,
+                                       values_, cells_);
+    EXPECT_EQ(n, 8);
+    // Distance-ascending (the paper's sorted scan row).
+    for (int i = 1; i < n; ++i) EXPECT_GE(values_[i], values_[i - 1]);
+    // First candidate is the forward cell.
+    EXPECT_EQ(cells_[0], grid::forward_neighbor(Group::kTop));
+}
+
+TEST_F(RulesTest, LemOccupiedNeighborsAreExcluded) {
+    env_.place(10, 10, Group::kTop, 1);
+    env_.place(11, 10, Group::kTop, 2);  // forward cell occupied
+    env_.place(10, 9, Group::kBottom, 3);
+    const int n = build_candidates_lem(env_, df_, Group::kTop, 10, 10,
+                                       values_, cells_);
+    EXPECT_EQ(n, 6);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NE(cells_[i], 0);  // fwd (#1) gone
+        EXPECT_NE(cells_[i], 3);  // west (#4) gone
+    }
+}
+
+TEST_F(RulesTest, LemCornerAgentSeesOnlyInGridCells) {
+    env_.place(0, 0, Group::kTop, 1);
+    const int n =
+        build_candidates_lem(env_, df_, Group::kTop, 0, 0, values_, cells_);
+    EXPECT_EQ(n, 3);  // S, SE, E
+}
+
+TEST_F(RulesTest, LemFullyEnclosedAgentHasNoCandidates) {
+    env_.place(10, 10, Group::kTop, 1);
+    int id = 2;
+    for (const auto off : grid::kNeighborOffsets) {
+        env_.place(10 + off.dr, 10 + off.dc, Group::kBottom, id++);
+    }
+    const int n = build_candidates_lem(env_, df_, Group::kTop, 10, 10,
+                                       values_, cells_);
+    EXPECT_EQ(n, 0);
+}
+
+TEST_F(RulesTest, LemBottomGroupMirrorsOrdering) {
+    env_.place(10, 10, Group::kBottom, 1);
+    const int n = build_candidates_lem(env_, df_, Group::kBottom, 10, 10,
+                                       values_, cells_);
+    EXPECT_EQ(n, 8);
+    EXPECT_EQ(cells_[0], grid::forward_neighbor(Group::kBottom));
+    for (int i = 1; i < n; ++i) EXPECT_GE(values_[i], values_[i - 1]);
+}
+
+// --- ACO candidate building ---------------------------------------------------
+
+TEST_F(RulesTest, AcoNumeratorMatchesEquationTwo) {
+    AcoParams params;
+    params.alpha = 1.5;
+    params.beta = 2.5;
+    PheromoneField pher(env_.config(), /*tau0=*/0.3, /*tau_min=*/1e-3);
+    pher.deposit(Group::kTop, 11, 10, 0.7);  // forward cell now tau = 1.0
+
+    env_.place(10, 10, Group::kTop, 1);
+    const int n = build_candidates_aco(env_, df_, pher, params, Group::kTop,
+                                       10, 10, values_, cells_);
+    ASSERT_EQ(n, 8);
+    // Slot 0 is the forward cell (ranked order): tau = 1.0, d = 20.
+    const double d0 = df_.distance(Group::kTop, 11, 0);
+    EXPECT_NEAR(values_[0],
+                std::pow(1.0, params.alpha) * std::pow(1.0 / d0, params.beta),
+                1e-12);
+    // Slot 1 is a forward diagonal with base tau0.
+    const double d1 = df_.distance(Group::kTop, 11, 1);
+    EXPECT_NEAR(values_[1],
+                std::pow(0.3, params.alpha) * std::pow(1.0 / d1, params.beta),
+                1e-12);
+}
+
+TEST_F(RulesTest, AcoPheromoneBiasesWeights) {
+    AcoParams params;  // alpha 1, beta 2
+    PheromoneField pher(env_.config(), 0.1, 1e-3);
+    env_.place(10, 10, Group::kTop, 1);
+
+    build_candidates_aco(env_, df_, pher, params, Group::kTop, 10, 10,
+                         values_, cells_);
+    const double before = values_[1];
+    pher.deposit(Group::kTop, 11, 9, 5.0);  // boost SW diagonal (#2, slot 1)
+    build_candidates_aco(env_, df_, pher, params, Group::kTop, 10, 10,
+                         values_, cells_);
+    EXPECT_GT(values_[1], 10.0 * before);
+}
+
+TEST_F(RulesTest, AcoReadsOwnGroupsField) {
+    AcoParams params;
+    PheromoneField pher(env_.config(), 0.1, 1e-3);
+    pher.deposit(Group::kBottom, 11, 10, 100.0);  // other group's trail
+    env_.place(10, 10, Group::kTop, 1);
+    build_candidates_aco(env_, df_, pher, params, Group::kTop, 10, 10,
+                         values_, cells_);
+    const double d0 = df_.distance(Group::kTop, 11, 0);
+    EXPECT_NEAR(values_[0], 0.1 * std::pow(1.0 / d0, 2.0), 1e-12);
+}
+
+TEST_F(RulesTest, AcoDistanceGuardNearTarget) {
+    // An agent one row from the target: the forward cell is *on* the
+    // target row (distance 0) — the guard keeps eta finite.
+    env_.place(30, 10, Group::kTop, 1);
+    AcoParams params;
+    PheromoneField pher(env_.config(), 0.1, 1e-3);
+    const int n = build_candidates_aco(env_, df_, pher, params, Group::kTop,
+                                       30, 10, values_, cells_);
+    ASSERT_GT(n, 0);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_TRUE(std::isfinite(values_[i]));
+        EXPECT_GT(values_[i], 0.0);
+    }
+}
+
+// --- Selection ------------------------------------------------------------------
+
+TEST(Selection, LemStronglyPrefersFirstSlot) {
+    rng::Stream s(1, rng::Stage::kGeneric, 0, 0);
+    int first = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) first += (select_lem(s, 8, 1.0) == 0);
+    EXPECT_GT(static_cast<double>(first) / n, 0.6);
+}
+
+TEST(Selection, AcoFollowsWeights) {
+    rng::Stream s(2, rng::Stage::kGeneric, 0, 0);
+    const double w[4] = {8.0, 1.0, 0.5, 0.5};
+    int first = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) first += (select_aco(s, w, 4) == 0);
+    EXPECT_NEAR(static_cast<double>(first) / n, 0.8, 0.02);
+}
+
+TEST(Selection, WinnerUniformAmongProposers) {
+    int hist[3] = {0, 0, 0};
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        rng::Stream s(3, rng::Stage::kMovement, static_cast<std::uint64_t>(i),
+                      0);
+        ++hist[select_winner(s, 3)];
+    }
+    for (const int h : hist) {
+        EXPECT_NEAR(static_cast<double>(h) / n, 1.0 / 3.0, 0.02);
+    }
+}
+
+TEST(Selection, WinnerEdgeCases) {
+    rng::Stream s(1, rng::Stage::kGeneric, 0, 0);
+    EXPECT_EQ(select_winner(s, 0), -1);
+    EXPECT_EQ(select_winner(s, 1), 0);
+}
+
+// --- Scatter-to-gather -------------------------------------------------------------
+
+class GatherTest : public ::testing::Test {
+  protected:
+    GatherTest() : env_(GridConfig{32, 32}) {
+        future_row_.assign(16, kNoFuture);
+        future_col_.assign(16, kNoFuture);
+    }
+
+    void place_with_future(int r, int c, Group g, std::int32_t idx, int fr,
+                           int fc) {
+        env_.place(r, c, g, idx);
+        future_row_[static_cast<std::size_t>(idx)] = fr;
+        future_col_[static_cast<std::size_t>(idx)] = fc;
+    }
+
+    Environment env_;
+    std::vector<std::int32_t> future_row_, future_col_;
+    std::int32_t out_[8];
+};
+
+TEST_F(GatherTest, CollectsOnlyProposersTargetingThisCell) {
+    // Paper Fig. 4: five neighbours target the central cell.
+    place_with_future(9, 9, Group::kTop, 1, 10, 10);
+    place_with_future(9, 10, Group::kTop, 2, 10, 10);
+    place_with_future(9, 11, Group::kTop, 3, 10, 10);
+    place_with_future(10, 9, Group::kBottom, 4, 10, 10);
+    place_with_future(11, 10, Group::kBottom, 5, 10, 10);
+    // A neighbour aiming elsewhere:
+    place_with_future(11, 11, Group::kBottom, 6, 11, 10);
+
+    const int n = gather_proposers(env_, future_row_.data(),
+                                   future_col_.data(), 10, 10, out_);
+    EXPECT_EQ(n, 5);
+    std::set<std::int32_t> got(out_, out_ + n);
+    EXPECT_EQ(got, (std::set<std::int32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(GatherTest, EmptyNeighborhoodYieldsZero) {
+    const int n = gather_proposers(env_, future_row_.data(),
+                                   future_col_.data(), 10, 10, out_);
+    EXPECT_EQ(n, 0);
+}
+
+TEST_F(GatherTest, NeighborsWithoutProposalsAreIgnored) {
+    env_.place(9, 10, Group::kTop, 1);  // never proposed (sentinel future)
+    const int n = gather_proposers(env_, future_row_.data(),
+                                   future_col_.data(), 10, 10, out_);
+    EXPECT_EQ(n, 0);
+}
+
+TEST_F(GatherTest, WorksAtGridCorner) {
+    place_with_future(0, 1, Group::kBottom, 1, 0, 0);
+    place_with_future(1, 1, Group::kBottom, 2, 0, 0);
+    const int n = gather_proposers(env_, future_row_.data(),
+                                   future_col_.data(), 0, 0, out_);
+    EXPECT_EQ(n, 2);
+}
+
+TEST_F(GatherTest, ProposerOrderFollowsPaperCellNumbering) {
+    place_with_future(11, 10, Group::kBottom, 7, 10, 10);  // offset #1 (S)
+    place_with_future(9, 10, Group::kTop, 3, 10, 10);      // offset #6 (N)
+    const int n = gather_proposers(env_, future_row_.data(),
+                                   future_col_.data(), 10, 10, out_);
+    ASSERT_EQ(n, 2);
+    EXPECT_EQ(out_[0], 7);  // S comes first in kNeighborOffsets
+    EXPECT_EQ(out_[1], 3);
+}
+
+// --- Step lengths and deposits -------------------------------------------------------
+
+TEST(StepLength, CardinalAndDiagonal) {
+    EXPECT_DOUBLE_EQ(step_length(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(step_length(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(step_length(-1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(step_length(1, 1), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(step_length(-1, 1), std::sqrt(2.0));
+}
+
+TEST(Deposit, InverselyProportionalToTourLength) {
+    AcoParams params;
+    params.q = 2.0;
+    EXPECT_DOUBLE_EQ(deposit_amount(params, 4.0), 0.5);
+    EXPECT_GT(deposit_amount(params, 2.0), deposit_amount(params, 10.0));
+}
+
+TEST(Deposit, GuardsShortTours) {
+    AcoParams params;
+    params.q = 1.0;
+    // L < 1 clamps to 1 so a first step never deposits more than q.
+    EXPECT_DOUBLE_EQ(deposit_amount(params, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(deposit_amount(params, 0.5), 1.0);
+}
+
+// --- Pheromone field ------------------------------------------------------------------
+
+TEST(Pheromone, EvaporationIsGeometricWithFloor) {
+    PheromoneField pher(GridConfig{32, 32}, 1.0, 0.01);
+    pher.evaporate(0.5);
+    EXPECT_DOUBLE_EQ(pher.at(Group::kTop, 3, 3), 0.5);
+    for (int i = 0; i < 20; ++i) pher.evaporate(0.5);
+    EXPECT_DOUBLE_EQ(pher.at(Group::kTop, 3, 3), 0.01);  // floored
+}
+
+TEST(Pheromone, DepositAccumulates) {
+    PheromoneField pher(GridConfig{32, 32}, 0.1, 1e-3);
+    pher.deposit(Group::kBottom, 5, 6, 0.4);
+    pher.deposit(Group::kBottom, 5, 6, 0.3);
+    EXPECT_NEAR(pher.at(Group::kBottom, 5, 6), 0.8, 1e-12);
+    EXPECT_NEAR(pher.at(Group::kTop, 5, 6), 0.1, 1e-12);  // isolated fields
+}
+
+TEST(Pheromone, TotalTracksDeposits) {
+    PheromoneField pher(GridConfig{32, 32}, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(pher.total(Group::kTop), 0.0);
+    pher.deposit(Group::kTop, 0, 0, 1.5);
+    pher.deposit(Group::kTop, 1, 1, 2.5);
+    EXPECT_DOUBLE_EQ(pher.total(Group::kTop), 4.0);
+}
+
+}  // namespace
+}  // namespace pedsim::core

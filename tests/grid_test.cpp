@@ -1,0 +1,314 @@
+// Tests for the environment, neighbourhood geometry, distance field and
+// placement (the paper's data-preparation stage).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/distance_field.hpp"
+#include "grid/environment.hpp"
+#include "grid/neighborhood.hpp"
+#include "grid/placement.hpp"
+
+namespace pedsim::grid {
+namespace {
+
+// --- Neighbourhood (paper Fig. 1) ----------------------------------------
+
+TEST(Neighborhood, EightDistinctUnitOffsets) {
+    std::set<std::pair<int, int>> seen;
+    for (const auto o : kNeighborOffsets) {
+        EXPECT_TRUE(o.dr >= -1 && o.dr <= 1);
+        EXPECT_TRUE(o.dc >= -1 && o.dc <= 1);
+        EXPECT_FALSE(o.dr == 0 && o.dc == 0);
+        seen.insert({o.dr, o.dc});
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Neighborhood, ForwardCellsMatchPaperNumbering) {
+    // Paper section IV.c: "Cell #1 for top placed agent and Cell #6 for
+    // bottom placed" (1-based) are the forward cells.
+    EXPECT_EQ(forward_neighbor(Group::kTop), 0);     // Cell #1: south
+    EXPECT_EQ(forward_neighbor(Group::kBottom), 5);  // Cell #6: north
+    EXPECT_EQ(kNeighborOffsets[0].dr, +1);
+    EXPECT_EQ(kNeighborOffsets[0].dc, 0);
+    EXPECT_EQ(kNeighborOffsets[5].dr, -1);
+    EXPECT_EQ(kNeighborOffsets[5].dc, 0);
+}
+
+TEST(Neighborhood, RankedOrderIsAPermutation) {
+    for (const auto g : {Group::kTop, Group::kBottom}) {
+        const auto order = ranked_order(g);
+        std::set<int> seen(order.begin(), order.end());
+        EXPECT_EQ(seen.size(), 8u);
+        EXPECT_EQ(*seen.begin(), 0);
+        EXPECT_EQ(*seen.rbegin(), 7);
+    }
+}
+
+TEST(Neighborhood, RankedOrderStartsForwardEndsBackDiagonal) {
+    EXPECT_EQ(ranked_order(Group::kTop)[0], forward_neighbor(Group::kTop));
+    EXPECT_EQ(ranked_order(Group::kBottom)[0],
+              forward_neighbor(Group::kBottom));
+    // "the last element has the highest value (Cell #8/Cell #7 for top
+    // placed agent)": back diagonals rank last.
+    EXPECT_EQ(ranked_order(Group::kTop)[7], 7);     // Cell #8
+    EXPECT_EQ(ranked_order(Group::kBottom)[7], 2);  // Cell #3
+}
+
+TEST(Neighborhood, RankedOrderIsDistanceAscending) {
+    const GridConfig cfg{64, 64};
+    const DistanceField df(cfg);
+    for (const auto g : {Group::kTop, Group::kBottom}) {
+        const int r = 30;  // mid-grid
+        double prev = -1.0;
+        for (const int k : ranked_order(g)) {
+            const double d = df.neighbor_distance(g, r, k);
+            EXPECT_GE(d, prev - 1e-12);
+            prev = d;
+        }
+    }
+}
+
+TEST(Neighborhood, OppositeGroups) {
+    EXPECT_EQ(opposite(Group::kTop), Group::kBottom);
+    EXPECT_EQ(opposite(Group::kBottom), Group::kTop);
+    EXPECT_EQ(opposite(Group::kNone), Group::kNone);
+}
+
+// --- Environment ----------------------------------------------------------
+
+TEST(Environment, RejectsNonTileAlignedDimensions) {
+    EXPECT_THROW(Environment(GridConfig{100, 96}), std::invalid_argument);
+    EXPECT_THROW(Environment(GridConfig{96, 100}), std::invalid_argument);
+    EXPECT_THROW(Environment(GridConfig{0, 0}), std::invalid_argument);
+    EXPECT_NO_THROW(Environment(GridConfig{96, 96}));
+    EXPECT_NO_THROW(Environment(GridConfig{480, 480}));
+}
+
+TEST(Environment, StartsEmpty) {
+    Environment env(GridConfig{32, 32});
+    EXPECT_EQ(env.population(), 0u);
+    for (int r = 0; r < env.rows(); ++r) {
+        for (int c = 0; c < env.cols(); ++c) {
+            EXPECT_TRUE(env.empty(r, c));
+            EXPECT_EQ(env.index_at(r, c), 0);
+        }
+    }
+}
+
+TEST(Environment, PlaceAndClear) {
+    Environment env(GridConfig{32, 32});
+    env.place(3, 4, Group::kTop, 7);
+    EXPECT_EQ(env.occupancy(3, 4), Group::kTop);
+    EXPECT_EQ(env.index_at(3, 4), 7);
+    EXPECT_EQ(env.population(), 1u);
+    env.clear(3, 4);
+    EXPECT_TRUE(env.empty(3, 4));
+    EXPECT_EQ(env.population(), 0u);
+}
+
+TEST(Environment, PlaceValidation) {
+    Environment env(GridConfig{32, 32});
+    EXPECT_THROW(env.place(-1, 0, Group::kTop, 1), std::out_of_range);
+    EXPECT_THROW(env.place(0, 32, Group::kTop, 1), std::out_of_range);
+    EXPECT_THROW(env.place(0, 0, Group::kNone, 1), std::invalid_argument);
+    EXPECT_THROW(env.place(0, 0, Group::kTop, 0), std::invalid_argument);
+    env.place(0, 0, Group::kTop, 1);
+    EXPECT_THROW(env.place(0, 0, Group::kBottom, 2), std::logic_error);
+}
+
+TEST(Environment, MoveTransfersOccupancyAndIndex) {
+    Environment env(GridConfig{32, 32});
+    env.place(1, 1, Group::kBottom, 5);
+    env.move(1, 1, 2, 2);
+    EXPECT_TRUE(env.empty(1, 1));
+    EXPECT_EQ(env.index_at(1, 1), 0);
+    EXPECT_EQ(env.occupancy(2, 2), Group::kBottom);
+    EXPECT_EQ(env.index_at(2, 2), 5);
+}
+
+TEST(Environment, MoveValidation) {
+    Environment env(GridConfig{32, 32});
+    env.place(1, 1, Group::kTop, 1);
+    env.place(2, 2, Group::kTop, 2);
+    EXPECT_THROW(env.move(0, 0, 3, 3), std::logic_error);   // source empty
+    EXPECT_THROW(env.move(1, 1, 2, 2), std::logic_error);   // target full
+    EXPECT_THROW(env.move(1, 1, -1, 0), std::out_of_range); // off grid
+}
+
+TEST(Environment, EmptyOrWallTreatsOffGridAsWall) {
+    Environment env(GridConfig{32, 32});
+    EXPECT_FALSE(env.empty_or_wall(-1, 0));
+    EXPECT_FALSE(env.empty_or_wall(0, -1));
+    EXPECT_FALSE(env.empty_or_wall(32, 0));
+    EXPECT_FALSE(env.empty_or_wall(0, 32));
+    EXPECT_TRUE(env.empty_or_wall(0, 0));
+}
+
+// --- DistanceField ---------------------------------------------------------
+
+TEST(DistanceField, TargetRows) {
+    const DistanceField df(GridConfig{480, 480});
+    EXPECT_EQ(df.target_row(Group::kTop), 479);
+    EXPECT_EQ(df.target_row(Group::kBottom), 0);
+}
+
+TEST(DistanceField, StraightDistanceIsRowGap) {
+    const DistanceField df(GridConfig{480, 480});
+    EXPECT_DOUBLE_EQ(df.distance(Group::kTop, 479, 0), 0.0);
+    EXPECT_DOUBLE_EQ(df.distance(Group::kTop, 0, 0), 479.0);
+    EXPECT_DOUBLE_EQ(df.distance(Group::kBottom, 0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(df.distance(Group::kBottom, 479, 0), 479.0);
+}
+
+TEST(DistanceField, LateralOffsetAddsHypotenuse) {
+    const DistanceField df(GridConfig{480, 480});
+    const double straight = df.distance(Group::kTop, 100, 0);
+    const double lateral = df.distance(Group::kTop, 100, 1);
+    EXPECT_DOUBLE_EQ(lateral, std::sqrt(straight * straight + 1.0));
+    EXPECT_DOUBLE_EQ(df.distance(Group::kTop, 100, -1), lateral);
+}
+
+TEST(DistanceField, PaperCellOrderingHoldsMidGrid) {
+    // Section IV.b: forward < forward diagonals < laterals < back < back
+    // diagonals, for a top-group agent far from the target.
+    const DistanceField df(GridConfig{480, 480});
+    const int r = 100;
+    const auto d = [&](int k) {
+        return df.neighbor_distance(Group::kTop, r, k);
+    };
+    EXPECT_LT(d(0), d(1));               // fwd < fwd-diag
+    EXPECT_DOUBLE_EQ(d(1), d(2));        // the two fwd diagonals tie
+    EXPECT_LT(d(1), d(3));               // fwd-diag < lateral
+    EXPECT_DOUBLE_EQ(d(3), d(4));        // laterals tie
+    EXPECT_LT(d(3), d(5));               // lateral < back
+    EXPECT_LT(d(5), d(6));               // back < back-diag
+    EXPECT_DOUBLE_EQ(d(6), d(7));        // back diagonals tie
+}
+
+TEST(DistanceField, CrossedPredicate) {
+    const DistanceField df(GridConfig{480, 480});
+    EXPECT_TRUE(df.crossed(Group::kTop, 479, 3));
+    EXPECT_TRUE(df.crossed(Group::kTop, 477, 3));
+    EXPECT_FALSE(df.crossed(Group::kTop, 476, 3));
+    EXPECT_TRUE(df.crossed(Group::kBottom, 0, 3));
+    EXPECT_TRUE(df.crossed(Group::kBottom, 2, 3));
+    EXPECT_FALSE(df.crossed(Group::kBottom, 3, 3));
+}
+
+// --- Placement --------------------------------------------------------------
+
+TEST(Placement, RequiredBandRows) {
+    EXPECT_EQ(required_band_rows(0, 480, 0.55), 0);
+    EXPECT_EQ(required_band_rows(1, 480, 0.55), 1);
+    EXPECT_EQ(required_band_rows(264, 480, 0.55), 1);
+    EXPECT_EQ(required_band_rows(265, 480, 0.55), 2);
+    // Paper max: 51,200 per side on 480 columns at 55% fill.
+    EXPECT_EQ(required_band_rows(51200, 480, 0.55), 194);
+    EXPECT_THROW(required_band_rows(10, 0, 0.5), std::invalid_argument);
+    EXPECT_THROW(required_band_rows(10, 480, 0.0), std::invalid_argument);
+}
+
+TEST(Placement, PlacesExactCountsInBands) {
+    Environment env(GridConfig{96, 96});
+    PlacementConfig pc;
+    pc.agents_per_side = 500;
+    pc.band_rows = 10;
+    pc.seed = 7;
+    const auto agents = place_bidirectional(env, pc);
+    ASSERT_EQ(agents.size(), 1000u);
+    EXPECT_EQ(env.population(), 1000u);
+
+    std::size_t top = 0, bottom = 0;
+    for (const auto& a : agents) {
+        if (a.group == Group::kTop) {
+            ++top;
+            EXPECT_LT(a.row, 10);
+        } else {
+            ++bottom;
+            EXPECT_GE(a.row, 86);
+        }
+        EXPECT_EQ(env.occupancy(a.row, a.col), a.group);
+        EXPECT_EQ(env.index_at(a.row, a.col), a.index);
+    }
+    EXPECT_EQ(top, 500u);
+    EXPECT_EQ(bottom, 500u);
+}
+
+TEST(Placement, IndicesAreConsecutiveFromOne) {
+    Environment env(GridConfig{64, 64});
+    PlacementConfig pc;
+    pc.agents_per_side = 100;
+    pc.band_rows = 4;
+    const auto agents = place_bidirectional(env, pc);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        EXPECT_EQ(agents[i].index, static_cast<std::int32_t>(i + 1));
+    }
+}
+
+TEST(Placement, DeterministicInSeed) {
+    const auto run = [](std::uint64_t seed) {
+        Environment env(GridConfig{64, 64});
+        PlacementConfig pc;
+        pc.agents_per_side = 200;
+        pc.band_rows = 8;
+        pc.seed = seed;
+        return place_bidirectional(env, pc);
+    };
+    const auto a = run(5);
+    const auto b = run(5);
+    const auto c = run(6);
+    ASSERT_EQ(a.size(), b.size());
+    bool identical_ab = true, identical_ac = true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        identical_ab &= (a[i].row == b[i].row && a[i].col == b[i].col);
+        identical_ac &= (a[i].row == c[i].row && a[i].col == c[i].col);
+    }
+    EXPECT_TRUE(identical_ab);
+    EXPECT_FALSE(identical_ac);
+}
+
+TEST(Placement, AutoBandSizing) {
+    Environment env(GridConfig{96, 96});
+    PlacementConfig pc;
+    pc.agents_per_side = 1000;
+    pc.band_rows = 0;  // auto
+    pc.max_band_fill = 0.55;
+    const auto agents = place_bidirectional(env, pc);
+    EXPECT_EQ(agents.size(), 2000u);
+    const int band = required_band_rows(1000, 96, 0.55);
+    for (const auto& a : agents) {
+        if (a.group == Group::kTop) EXPECT_LT(a.row, band);
+    }
+}
+
+TEST(Placement, ThrowsWhenPopulationCannotFit) {
+    Environment env(GridConfig{32, 32});
+    PlacementConfig pc;
+    pc.agents_per_side = 33;
+    pc.band_rows = 1;  // only 32 cells in the band
+    EXPECT_THROW(place_bidirectional(env, pc), std::invalid_argument);
+}
+
+TEST(Placement, ThrowsWhenBandsOverlap) {
+    Environment env(GridConfig{32, 32});
+    PlacementConfig pc;
+    pc.agents_per_side = 200;
+    pc.band_rows = 17;  // 2 x 17 > 32 rows
+    EXPECT_THROW(place_bidirectional(env, pc), std::invalid_argument);
+}
+
+TEST(Placement, NoDuplicateCells) {
+    Environment env(GridConfig{64, 64});
+    PlacementConfig pc;
+    pc.agents_per_side = 600;
+    pc.band_rows = 12;
+    const auto agents = place_bidirectional(env, pc);
+    std::set<std::pair<int, int>> cells;
+    for (const auto& a : agents) cells.insert({a.row, a.col});
+    EXPECT_EQ(cells.size(), agents.size());
+}
+
+}  // namespace
+}  // namespace pedsim::grid

@@ -1,0 +1,256 @@
+// Unit and property tests for the counter-based RNG substrate.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/stream.hpp"
+
+namespace pedsim::rng {
+namespace {
+
+// --- Philox block cipher -------------------------------------------------
+
+TEST(Philox, MatchesRandom123ZeroVector) {
+    const auto out = Philox4x32::generate({0, 0, 0, 0}, {0, 0});
+    const Philox4x32::Output want{0x6627e8d5u, 0xe169c58du, 0xbc57ac4cu,
+                                  0x9b00dbd8u};
+    EXPECT_EQ(out, want);
+}
+
+TEST(Philox, MatchesRandom123OnesVector) {
+    const auto out = Philox4x32::generate(
+        {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+        {0xffffffffu, 0xffffffffu});
+    const Philox4x32::Output want{0x408f276du, 0x41c83b0eu, 0xa20bc7c6u,
+                                  0x6d5451fdu};
+    EXPECT_EQ(out, want);
+}
+
+TEST(Philox, MatchesRandom123PiVector) {
+    const auto out = Philox4x32::generate(
+        {0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+        {0xa4093822u, 0x299f31d0u});
+    const Philox4x32::Output want{0xd16cfe09u, 0x94fdccebu, 0x5001e420u,
+                                  0x24126ea1u};
+    EXPECT_EQ(out, want);
+}
+
+TEST(Philox, IsDeterministic) {
+    const Philox4x32::Counter ctr{1, 2, 3, 4};
+    const Philox4x32::Key key{5, 6};
+    EXPECT_EQ(Philox4x32::generate(ctr, key), Philox4x32::generate(ctr, key));
+}
+
+TEST(Philox, CounterAvalanche) {
+    // Flipping one counter bit should change (on average) half the output
+    // bits; require at least a quarter as a loose avalanche bound.
+    const Philox4x32::Key key{0xdeadbeefu, 0xcafef00du};
+    const auto a = Philox4x32::generate({7, 8, 9, 10}, key);
+    const auto b = Philox4x32::generate({7 ^ 1u, 8, 9, 10}, key);
+    int differing = 0;
+    for (int i = 0; i < 4; ++i) {
+        differing += __builtin_popcount(a[static_cast<std::size_t>(i)] ^
+                                        b[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_GT(differing, 32);
+}
+
+TEST(SplitMix, DistinctOnSequentialInputs) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(splitmix64(i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+// --- Stream --------------------------------------------------------------
+
+TEST(Stream, SameCoordinatesSameSequence) {
+    Stream a(42, Stage::kTourConstruction, 17, 100);
+    Stream b(42, Stage::kTourConstruction, 17, 100);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Stream, DifferentEntityDiffers) {
+    Stream a(42, Stage::kTourConstruction, 17, 100);
+    Stream b(42, Stage::kTourConstruction, 18, 100);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a.next_u32() == b.next_u32());
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Stream, DifferentStageDiffers) {
+    Stream a(42, Stage::kTourConstruction, 17, 100);
+    Stream b(42, Stage::kMovement, 17, 100);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a.next_u32() == b.next_u32());
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Stream, DifferentStepDiffers) {
+    Stream a(42, Stage::kMovement, 17, 100);
+    Stream b(42, Stage::kMovement, 17, 101);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a.next_u32() == b.next_u32());
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Stream, DoubleInUnitInterval) {
+    Stream s(1, Stage::kGeneric, 0, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = s.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Stream, FloatInUnitInterval) {
+    Stream s(1, Stage::kGeneric, 0, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const float x = s.next_float();
+        EXPECT_GE(x, 0.0f);
+        EXPECT_LT(x, 1.0f);
+    }
+}
+
+TEST(Stream, UniformMeanAndVariance) {
+    Stream s(7, Stage::kGeneric, 3, 9);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = s.next_double();
+        sum += x;
+        sum2 += x * x;
+    }
+    const double m = sum / n;
+    const double v = sum2 / n - m * m;
+    EXPECT_NEAR(m, 0.5, 0.005);
+    EXPECT_NEAR(v, 1.0 / 12.0, 0.005);
+}
+
+TEST(Stream, NextBelowBounds) {
+    Stream s(3, Stage::kGeneric, 1, 1);
+    for (std::uint32_t bound : {1u, 2u, 3u, 7u, 8u, 100u, 1000u}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(s.next_below(bound), bound);
+        }
+    }
+}
+
+TEST(Stream, NextBelowIsApproximatelyUniform) {
+    Stream s(5, Stage::kGeneric, 2, 2);
+    constexpr std::uint32_t kBound = 8;
+    std::array<int, kBound> hist{};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i) ++hist[s.next_below(kBound)];
+    // Chi-square with 7 dof: 99.9th percentile ~ 24.3.
+    const double expected = static_cast<double>(n) / kBound;
+    double chi2 = 0.0;
+    for (const int h : hist) {
+        chi2 += (h - expected) * (h - expected) / expected;
+    }
+    EXPECT_LT(chi2, 24.3);
+}
+
+// --- Distributions -------------------------------------------------------
+
+TEST(Distributions, NormalMoments) {
+    Stream s(11, Stage::kGeneric, 0, 0);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = normal(s, 2.0, 3.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    const double m = sum / n;
+    const double v = sum2 / n - m * m;
+    EXPECT_NEAR(m, 2.0, 0.05);
+    EXPECT_NEAR(v, 9.0, 0.2);
+}
+
+TEST(Distributions, LemRankDrawSingleCandidate) {
+    Stream s(1, Stage::kGeneric, 0, 0);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(lem_rank_draw(s, 1), 0);
+}
+
+TEST(Distributions, LemRankDrawWithinRange) {
+    Stream s(1, Stage::kGeneric, 0, 0);
+    for (int count : {2, 3, 5, 8}) {
+        for (int i = 0; i < 2000; ++i) {
+            const int r = lem_rank_draw(s, count);
+            EXPECT_GE(r, 0);
+            EXPECT_LT(r, count);
+        }
+    }
+}
+
+TEST(Distributions, LemRankDrawPrefersRankZero) {
+    // The clamped-normal draw sends the entire negative half plus the
+    // [0, 0.5) mass to rank 0 — over 69% for sigma = 1.
+    Stream s(2, Stage::kGeneric, 0, 0);
+    const int n = 50000;
+    int zero = 0;
+    for (int i = 0; i < n; ++i) zero += (lem_rank_draw(s, 8, 1.0) == 0);
+    const double frac = static_cast<double>(zero) / n;
+    EXPECT_GT(frac, 0.66);
+    EXPECT_LT(frac, 0.73);
+}
+
+TEST(Distributions, LemRankDrawSigmaControlsSpread) {
+    Stream s1(3, Stage::kGeneric, 0, 0);
+    Stream s2(3, Stage::kGeneric, 1, 0);
+    const int n = 50000;
+    double mean_small = 0.0, mean_large = 0.0;
+    for (int i = 0; i < n; ++i) {
+        mean_small += lem_rank_draw(s1, 8, 0.5);
+        mean_large += lem_rank_draw(s2, 8, 3.0);
+    }
+    EXPECT_LT(mean_small / n, mean_large / n);
+}
+
+TEST(Distributions, RouletteZeroTotalReturnsMinusOne) {
+    Stream s(4, Stage::kGeneric, 0, 0);
+    const double w[3] = {0.0, 0.0, 0.0};
+    EXPECT_EQ(roulette(s, w, 3), -1);
+}
+
+TEST(Distributions, RouletteSingleMassAlwaysWins) {
+    Stream s(4, Stage::kGeneric, 0, 0);
+    const double w[4] = {0.0, 0.0, 5.0, 0.0};
+    for (int i = 0; i < 200; ++i) EXPECT_EQ(roulette(s, w, 4), 2);
+}
+
+TEST(Distributions, RouletteProportionalSelection) {
+    Stream s(5, Stage::kGeneric, 0, 0);
+    const double w[3] = {1.0, 2.0, 7.0};
+    std::array<int, 3> hist{};
+    const int n = 90000;
+    for (int i = 0; i < n; ++i) ++hist[static_cast<std::size_t>(roulette(s, w, 3))];
+    EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(hist[1] / static_cast<double>(n), 0.2, 0.01);
+    EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Distributions, RouletteNeverPicksZeroWeightSlot) {
+    Stream s(6, Stage::kGeneric, 0, 0);
+    const double w[4] = {1.0, 0.0, 1.0, 0.0};
+    for (int i = 0; i < 5000; ++i) {
+        const int r = roulette(s, w, 4);
+        EXPECT_TRUE(r == 0 || r == 2);
+    }
+}
+
+TEST(Distributions, ExponentialMean) {
+    Stream s(7, Stage::kGeneric, 0, 0);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += exponential(s, 0.25);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace pedsim::rng

@@ -1,0 +1,438 @@
+// Integration and property tests for the simulation engines:
+// conservation invariants, crossing semantics, determinism, and the
+// bit-exact CPU <-> GPU-simt parity the paper's Fig. 6b validation rests on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/cpu_simulator.hpp"
+#include "core/gpu_simulator.hpp"
+#include "core/metrics.hpp"
+
+namespace pedsim::core {
+namespace {
+
+SimConfig small_config(Model model, std::size_t agents = 300,
+                       std::uint64_t seed = 42) {
+    SimConfig cfg;
+    cfg.grid.rows = cfg.grid.cols = 64;
+    cfg.agents_per_side = agents;
+    cfg.model = model;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/// Full state fingerprint: every active agent's position plus env hash.
+std::map<std::int32_t, std::pair<int, int>> agent_positions(
+    const Simulator& sim) {
+    std::map<std::int32_t, std::pair<int, int>> pos;
+    const auto& p = sim.properties();
+    for (std::size_t i = 1; i < p.rows(); ++i) {
+        if (p.active[i]) {
+            pos[static_cast<std::int32_t>(i)] = {p.row[i], p.col[i]};
+        }
+    }
+    return pos;
+}
+
+// --- Construction -------------------------------------------------------------
+
+TEST(SimulatorInit, PopulationMatchesConfig) {
+    const auto cfg = small_config(Model::kLem);
+    const auto sim = make_cpu_simulator(cfg);
+    EXPECT_EQ(sim->environment().population(), 600u);
+    EXPECT_EQ(sim->properties().agent_count(), 600u);
+    EXPECT_EQ(sim->properties().active_count(), 600u);
+}
+
+TEST(SimulatorInit, LemHasNoPheromone) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem));
+    EXPECT_EQ(sim->pheromone(), nullptr);
+}
+
+TEST(SimulatorInit, AcoHasPheromoneAtTau0) {
+    auto cfg = small_config(Model::kAco);
+    cfg.aco.tau0 = 0.25;
+    const auto sim = make_cpu_simulator(cfg);
+    ASSERT_NE(sim->pheromone(), nullptr);
+    EXPECT_DOUBLE_EQ(sim->pheromone()->at(grid::Group::kTop, 30, 30), 0.25);
+}
+
+TEST(SimulatorInit, EnvironmentAndPropertiesAgree) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem));
+    const auto& env = sim->environment();
+    const auto& props = sim->properties();
+    for (std::size_t i = 1; i < props.rows(); ++i) {
+        EXPECT_EQ(env.index_at(props.row[i], props.col[i]),
+                  static_cast<std::int32_t>(i));
+        EXPECT_EQ(static_cast<std::uint8_t>(
+                      env.occupancy(props.row[i], props.col[i])),
+                  props.group[i]);
+    }
+}
+
+// --- Conservation invariants -----------------------------------------------------
+
+class InvariantTest : public ::testing::TestWithParam<Model> {};
+
+TEST_P(InvariantTest, AgentsAreConservedAcrossSteps) {
+    auto cfg = small_config(GetParam(), 400);
+    cfg.exit_on_cross = false;  // nobody leaves: strict conservation
+    const auto sim = make_cpu_simulator(cfg);
+    for (int s = 0; s < 60; ++s) {
+        sim->step();
+        EXPECT_EQ(sim->environment().population(), 800u);
+        EXPECT_EQ(sim->properties().active_count(), 800u);
+    }
+}
+
+TEST_P(InvariantTest, PopulationPlusCrossedIsConstantWithExits) {
+    const auto cfg = small_config(GetParam(), 400);
+    const auto sim = make_cpu_simulator(cfg);
+    for (int s = 0; s < 150; ++s) {
+        sim->step();
+        const auto on_grid = sim->environment().population();
+        const auto crossed = sim->crossed_total(grid::Group::kTop) +
+                             sim->crossed_total(grid::Group::kBottom);
+        EXPECT_EQ(on_grid + crossed, 800u);
+    }
+}
+
+TEST_P(InvariantTest, IndexMatrixStaysConsistent) {
+    const auto sim = make_cpu_simulator(small_config(GetParam(), 350));
+    sim->run(80);
+    const auto& env = sim->environment();
+    const auto& props = sim->properties();
+    std::size_t indexed = 0;
+    for (int r = 0; r < env.rows(); ++r) {
+        for (int c = 0; c < env.cols(); ++c) {
+            const auto i = env.index_at(r, c);
+            if (i == 0) {
+                EXPECT_TRUE(env.empty(r, c));
+                continue;
+            }
+            ++indexed;
+            EXPECT_EQ(props.row[static_cast<std::size_t>(i)], r);
+            EXPECT_EQ(props.col[static_cast<std::size_t>(i)], c);
+            EXPECT_TRUE(props.active[static_cast<std::size_t>(i)]);
+        }
+    }
+    EXPECT_EQ(indexed, props.active_count());
+}
+
+TEST_P(InvariantTest, NoAgentMovesMoreThanOneCellPerStep) {
+    const auto sim = make_cpu_simulator(small_config(GetParam(), 400));
+    auto before = agent_positions(*sim);
+    for (int s = 0; s < 40; ++s) {
+        sim->step();
+        const auto after = agent_positions(*sim);
+        for (const auto& [id, pos] : after) {
+            const auto it = before.find(id);
+            if (it == before.end()) continue;
+            EXPECT_LE(std::abs(pos.first - it->second.first), 1);
+            EXPECT_LE(std::abs(pos.second - it->second.second), 1);
+        }
+        before = after;
+    }
+}
+
+TEST_P(InvariantTest, TourLengthsAreMonotone) {
+    const auto sim = make_cpu_simulator(small_config(GetParam(), 300));
+    std::vector<double> prev(sim->properties().tour_length);
+    for (int s = 0; s < 30; ++s) {
+        sim->step();
+        const auto& cur = sim->properties().tour_length;
+        for (std::size_t i = 1; i < cur.size(); ++i) {
+            EXPECT_GE(cur[i], prev[i]);
+        }
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, InvariantTest,
+                         ::testing::Values(Model::kLem, Model::kAco),
+                         [](const auto& info) {
+                             return info.param == Model::kLem ? "Lem" : "Aco";
+                         });
+
+// --- Determinism -------------------------------------------------------------------
+
+class DeterminismTest : public ::testing::TestWithParam<Model> {};
+
+TEST_P(DeterminismTest, SameSeedSameTrajectory) {
+    const auto cfg = small_config(GetParam());
+    const auto a = make_cpu_simulator(cfg);
+    const auto b = make_cpu_simulator(cfg);
+    for (int s = 0; s < 50; ++s) {
+        a->step();
+        b->step();
+    }
+    EXPECT_EQ(agent_positions(*a), agent_positions(*b));
+    EXPECT_TRUE(a->environment() == b->environment());
+}
+
+TEST_P(DeterminismTest, DifferentSeedDifferentTrajectory) {
+    const auto a = make_cpu_simulator(small_config(GetParam(), 300, 1));
+    const auto b = make_cpu_simulator(small_config(GetParam(), 300, 2));
+    for (int s = 0; s < 30; ++s) {
+        a->step();
+        b->step();
+    }
+    EXPECT_NE(agent_positions(*a), agent_positions(*b));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, DeterminismTest,
+                         ::testing::Values(Model::kLem, Model::kAco),
+                         [](const auto& info) {
+                             return info.param == Model::kLem ? "Lem" : "Aco";
+                         });
+
+// --- CPU <-> GPU parity (the Fig. 6b property) ----------------------------------------
+
+struct ParityCase {
+    Model model;
+    std::size_t agents;
+    std::uint64_t seed;
+};
+
+class ParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(ParityTest, EnginesAreBitIdentical) {
+    const auto p = GetParam();
+    const auto cfg = small_config(p.model, p.agents, p.seed);
+    const auto cpu = make_cpu_simulator(cfg);
+    GpuSimulator gpu(cfg);
+    for (int s = 0; s < 60; ++s) {
+        const auto rc = cpu->step();
+        const auto rg = gpu.step();
+        ASSERT_EQ(rc.moves, rg.moves) << "step " << s;
+        ASSERT_EQ(rc.proposals, rg.proposals) << "step " << s;
+        ASSERT_EQ(rc.crossed_top, rg.crossed_top) << "step " << s;
+        ASSERT_EQ(rc.crossed_bottom, rg.crossed_bottom) << "step " << s;
+    }
+    EXPECT_TRUE(cpu->environment() == gpu.environment());
+    EXPECT_EQ(agent_positions(*cpu), agent_positions(gpu));
+    if (cfg.model == Model::kAco) {
+        // Pheromone fields must match exactly, too.
+        const auto& pc = *cpu->pheromone();
+        const auto& pg = *gpu.pheromone();
+        for (const auto g : {grid::Group::kTop, grid::Group::kBottom}) {
+            EXPECT_EQ(pc.raw(g), pg.raw(g));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParityTest,
+    ::testing::Values(ParityCase{Model::kLem, 100, 1},
+                      ParityCase{Model::kLem, 400, 2},
+                      ParityCase{Model::kLem, 900, 3},
+                      ParityCase{Model::kAco, 100, 4},
+                      ParityCase{Model::kAco, 400, 5},
+                      ParityCase{Model::kAco, 900, 6}),
+    [](const auto& info) {
+        return std::string(info.param.model == Model::kLem ? "Lem" : "Aco") +
+               std::to_string(info.param.agents) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+TEST(ParityNaiveHalo, TileLoadStrategyDoesNotChangeResults) {
+    // The halo-load strategy is a performance choice; functional results
+    // must be identical either way.
+    const auto cfg = small_config(Model::kAco, 400, 9);
+    GpuOptions remapped, naive;
+    naive.remapped_halo_load = false;
+    GpuSimulator a(cfg, remapped);
+    GpuSimulator b(cfg, naive);
+    for (int s = 0; s < 40; ++s) {
+        a.step();
+        b.step();
+    }
+    EXPECT_TRUE(a.environment() == b.environment());
+}
+
+// --- Crossing / progress semantics ------------------------------------------------------
+
+TEST(Crossing, AgentsEventuallyCrossInSparseScenario) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem, 50));
+    const auto rr = sim->run(500);
+    EXPECT_GT(rr.crossed_total(), 80u);  // nearly all of 100
+}
+
+TEST(Crossing, CrossedAgentsLeaveTheGrid) {
+    auto cfg = small_config(Model::kLem, 50);
+    cfg.exit_on_cross = true;
+    const auto sim = make_cpu_simulator(cfg);
+    sim->run(500);
+    EXPECT_EQ(sim->environment().population() +
+                  sim->crossed_total(grid::Group::kTop) +
+                  sim->crossed_total(grid::Group::kBottom),
+              100u);
+    EXPECT_LT(sim->environment().population(), 20u);
+}
+
+TEST(Crossing, GroupsMoveTowardTheirTargets) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem, 300));
+    const auto& df = sim->distance_field();
+    const double top0 = mean_progress(sim->properties(), df,
+                                      grid::Group::kTop, 64);
+    const double bot0 = mean_progress(sim->properties(), df,
+                                      grid::Group::kBottom, 64);
+    sim->run(60);
+    EXPECT_GT(mean_progress(sim->properties(), df, grid::Group::kTop, 64),
+              top0 + 5.0);
+    EXPECT_GT(mean_progress(sim->properties(), df, grid::Group::kBottom, 64),
+              bot0 + 5.0);
+}
+
+TEST(Crossing, ForwardPriorityWalksIsolatedAgentsStraight) {
+    // An unobstructed agent under forward priority takes the geodesic:
+    // one row per step, no draws. Without it, the rank draw occasionally
+    // picks diagonals/laterals, so crossing takes strictly longer.
+    auto with = small_config(Model::kLem, 1, 7);
+    auto without = with;
+    without.forward_priority = false;
+    const auto a = make_cpu_simulator(with);
+    const auto b = make_cpu_simulator(without);
+    ThroughputRecorder ra, rb;
+    a->run(600, ra.observer());
+    b->run(600, rb.observer());
+    const auto ta = ra.steps_to_fraction(2, 1.0);
+    const auto tb = rb.steps_to_fraction(2, 1.0);
+    ASSERT_GE(ta, 0);
+    ASSERT_GE(tb, 0);
+    // Geodesic: both agents start on row 0 / 63 (band depth 1) and cross
+    // when reaching the far row — 63 moves, i.e. step index 62.
+    EXPECT_EQ(ta, 62);
+    EXPECT_LT(ta, tb);
+}
+
+// --- Observers & metrics ------------------------------------------------------------------
+
+TEST(RunApi, ObserverCanStopEarly) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem));
+    int seen = 0;
+    const auto rr = sim->run(100, [&](const StepResult&) {
+        return ++seen < 10;
+    });
+    EXPECT_EQ(rr.steps_run, 10);
+    EXPECT_EQ(sim->current_step(), 10u);
+}
+
+TEST(RunApi, StepResultAccounting) {
+    const auto sim = make_cpu_simulator(small_config(Model::kAco, 400));
+    for (int s = 0; s < 20; ++s) {
+        const auto sr = sim->step();
+        EXPECT_GE(sr.proposals, sr.moves);
+        EXPECT_EQ(sr.conflicts, sr.proposals - sr.moves);
+    }
+}
+
+TEST(Metrics, ThroughputRecorderAccumulates) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem, 80));
+    ThroughputRecorder rec;
+    const auto rr = sim->run(400, rec.observer());
+    EXPECT_EQ(rec.total(), rr.crossed_total());
+    EXPECT_EQ(rec.per_step_crossings().size(),
+              static_cast<std::size_t>(rr.steps_run));
+}
+
+TEST(Metrics, GridlockDetectorFiresOnQuietWindow) {
+    GridlockDetector det(5);
+    StepResult sr;
+    sr.moves = 0;
+    for (int i = 0; i < 4; ++i) {
+        sr.step = static_cast<std::uint64_t>(i);
+        EXPECT_FALSE(det.update(sr));
+    }
+    sr.step = 4;
+    EXPECT_TRUE(det.update(sr));
+    EXPECT_TRUE(det.gridlocked());
+    EXPECT_EQ(det.since_step(), 0);
+}
+
+TEST(Metrics, GridlockDetectorResetsOnMovement) {
+    GridlockDetector det(3);
+    StepResult quiet, busy;
+    quiet.moves = 0;
+    busy.moves = 5;
+    det.update(quiet);
+    det.update(quiet);
+    det.update(busy);
+    det.update(quiet);
+    det.update(quiet);
+    EXPECT_FALSE(det.gridlocked());
+}
+
+TEST(Metrics, RowOccupancyCountsGroups) {
+    const auto sim = make_cpu_simulator(small_config(Model::kLem, 300));
+    const auto hist = row_occupancy(sim->environment(), grid::Group::kTop);
+    int total = 0;
+    for (const int h : hist) total += h;
+    EXPECT_EQ(total, 300);
+}
+
+// --- GPU launch accounting -------------------------------------------------------------------
+
+TEST(GpuAccounting, FourKernelsPerStep) {
+    GpuSimulator sim(small_config(Model::kAco, 200));
+    sim.step();
+    const auto& recs = sim.launch_log().records();
+    ASSERT_EQ(recs.size(), 4u);
+    EXPECT_EQ(recs[0].kernel_name, "support_reset");
+    EXPECT_EQ(recs[1].kernel_name, "initial_calc");
+    EXPECT_EQ(recs[2].kernel_name, "tour_construction");
+    EXPECT_EQ(recs[3].kernel_name, "movement");
+}
+
+TEST(GpuAccounting, ModeledTimeGrowsWithSteps) {
+    GpuSimulator sim(small_config(Model::kLem, 200));
+    sim.step();
+    const double t1 = sim.modeled_seconds();
+    sim.step();
+    const double t2 = sim.modeled_seconds();
+    EXPECT_GT(t1, 0.0);
+    EXPECT_GT(t2, 1.5 * t1);
+}
+
+TEST(GpuAccounting, AcoCostsMoreThanLem) {
+    // Paper Fig. 5a: ~11% overhead for ACO's extra pheromone work.
+    GpuSimulator lem(small_config(Model::kLem, 400));
+    GpuSimulator aco(small_config(Model::kAco, 400));
+    for (int s = 0; s < 10; ++s) {
+        lem.step();
+        aco.step();
+    }
+    EXPECT_GT(aco.modeled_seconds(), lem.modeled_seconds());
+}
+
+TEST(GpuAccounting, RemappedHaloReducesDivergence) {
+    const auto cfg = small_config(Model::kLem, 400);
+    GpuOptions naive;
+    naive.remapped_halo_load = false;
+    GpuSimulator a(cfg);
+    GpuSimulator b(cfg, naive);
+    for (int s = 0; s < 5; ++s) {
+        a.step();
+        b.step();
+    }
+    EXPECT_LT(a.launch_log().total_stats().divergence_rate(),
+              b.launch_log().total_stats().divergence_rate());
+}
+
+TEST(GpuAccounting, NoAtomicsInPaperConfiguration) {
+    GpuSimulator sim(small_config(Model::kAco, 400));
+    sim.run(5);
+    EXPECT_EQ(sim.launch_log().total_stats().atomics, 0u);
+}
+
+TEST(GpuAccounting, AtomicAblationCountsAtomics) {
+    GpuOptions opt;
+    opt.atomic_movement = true;
+    GpuSimulator sim(small_config(Model::kAco, 400), opt);
+    sim.run(5);
+    EXPECT_GT(sim.launch_log().total_stats().atomics, 0u);
+}
+
+}  // namespace
+}  // namespace pedsim::core
