@@ -1,0 +1,65 @@
+// Scenario gallery: lists the built-in scenario registry and renders each
+// scenario's walls plus initial agent placement as ASCII art.
+//
+//   ./scenario_gallery                 # every built-in
+//   ./scenario_gallery room_evacuation # just one
+//   ./scenario_gallery --export=DIR    # also write DIR/<name>.scenario
+#include <cstdio>
+#include <fstream>
+
+#include "core/cpu_simulator.hpp"
+#include "io/args.hpp"
+#include "io/ascii_render.hpp"
+#include "io/scenario_file.hpp"
+#include "scenario/registry.hpp"
+
+using namespace pedsim;
+
+int main(int argc, char** argv) {
+    const io::ArgParser args(argc, argv);
+    if (args.has("help")) {
+        std::puts(
+            "scenario_gallery — browse the built-in scenario library\n"
+            "  [name...]     render only the named scenarios\n"
+            "  --export=DIR  also write each scenario as DIR/<name>.scenario");
+        return 0;
+    }
+
+    std::vector<std::string> wanted = args.positional();
+    if (wanted.empty()) wanted = scenario::names();
+
+    for (const auto& name : wanted) {
+        if (!scenario::has(name)) {
+            std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+            return 1;
+        }
+        const auto s = scenario::get(name);
+        std::printf("=== %s ===\n%s\n", s.name.c_str(),
+                    s.description.c_str());
+        std::printf(
+            "grid %dx%d, %zu agents, model %s, seed %llu, %d default "
+            "steps, %zu wall cells\n",
+            s.sim.grid.rows, s.sim.grid.cols, s.sim.total_agents(),
+            s.sim.model == core::Model::kLem ? "lem" : "aco",
+            static_cast<unsigned long long>(s.sim.seed), s.default_steps,
+            s.sim.layout.wall_cells.size());
+
+        // Construct (but do not run) a simulator: walls + placement only.
+        const auto sim = core::make_cpu_simulator(s.sim);
+        std::fputs(io::render(sim->environment()).c_str(), stdout);
+        std::fputs("\n", stdout);
+
+        if (args.has("export")) {
+            const auto path =
+                args.get("export") + "/" + s.name + ".scenario";
+            std::ofstream out(path);
+            out << io::scenario_to_text(s);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                return 1;
+            }
+            std::printf("wrote %s\n\n", path.c_str());
+        }
+    }
+    return 0;
+}

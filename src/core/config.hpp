@@ -1,7 +1,9 @@
 // Simulation configuration for the bi-directional pedestrian models.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "grid/environment.hpp"
 #include "grid/placement.hpp"
@@ -19,6 +21,8 @@ enum class Model {
 /// prefers the least-effort candidate (rank 0).
 struct LemParams {
     double sigma = 1.0;
+
+    bool operator==(const LemParams&) const = default;
 };
 
 /// Modified-ACO tuning. The paper leaves alpha/beta/rho/Q unspecified;
@@ -32,6 +36,8 @@ struct AcoParams {
     double q = 1.0;        ///< deposit numerator, eq. (5): dtau = q / L_k
     double tau0 = 0.1;     ///< initial pheromone level
     double tau_min = 1e-3; ///< evaporation floor (avoids dead fields)
+
+    bool operator==(const AcoParams&) const = default;
 };
 
 /// Panic alarm (paper section VII future work: "introduce a panic alarm to
@@ -54,6 +60,8 @@ struct PanicConfig {
         const double dc = c - col;
         return dr * dr + dc * dc <= radius * radius;
     }
+
+    bool operator==(const PanicConfig&) const = default;
 };
 
 /// Heterogeneous walking speeds (future work: "velocity and size of the
@@ -63,6 +71,8 @@ struct PanicConfig {
 struct SpeedConfig {
     double slow_fraction = 0.0;  ///< 0 = paper behaviour (homogeneous)
     int slow_period = 2;         ///< slow agents act every k-th step
+
+    bool operator==(const SpeedConfig&) const = default;
 };
 
 /// Separated scanning and movement ranges (future work: "separating the
@@ -73,6 +83,35 @@ struct SpeedConfig {
 struct ScanConfig {
     int range = 1;                   ///< 1 = paper behaviour
     double congestion_weight = 1.0;  ///< discount strength in [0, 1]
+
+    bool operator==(const ScanConfig&) const = default;
+};
+
+/// Static scenario geometry layered onto the paper's corridor defaults.
+/// An empty layout reproduces the seed bit-exactly: no walls, edge-row
+/// goals, bidirectional band placement. Walls or custom goals switch the
+/// distance field to the obstacle-aware geodesic mode; spawn regions
+/// replace the band placement.
+struct ScenarioLayout {
+    /// Flat cell ids (r * cols + c) of static wall cells.
+    std::vector<std::uint32_t> wall_cells;
+    /// Per-group goal cells ([0] = top group, [1] = bottom group); an empty
+    /// list means the group's far edge row, as in the paper.
+    std::array<std::vector<std::uint32_t>, 2> goal_cells;
+    /// Spawn regions; empty = the paper's bidirectional bands.
+    std::vector<grid::RegionSpawn> spawns;
+
+    [[nodiscard]] bool empty() const {
+        return wall_cells.empty() && goal_cells[0].empty() &&
+               goal_cells[1].empty() && spawns.empty();
+    }
+    /// Walls or custom goals require the geodesic distance field.
+    [[nodiscard]] bool needs_geodesic() const {
+        return !wall_cells.empty() || !goal_cells[0].empty() ||
+               !goal_cells[1].empty();
+    }
+
+    bool operator==(const ScenarioLayout&) const = default;
 };
 
 struct SimConfig {
@@ -91,6 +130,10 @@ struct SimConfig {
     PanicConfig panic;
     SpeedConfig speed;
     ScanConfig scan;
+
+    /// Scenario geometry (walls, goals, spawn regions); the default empty
+    /// layout is the paper's corridor.
+    ScenarioLayout layout;
 
     std::uint64_t seed = 42;
 
@@ -112,11 +155,20 @@ struct SimConfig {
                                         max_band_fill);
     }
     [[nodiscard]] int effective_cross_margin() const {
-        return cross_margin > 0 ? cross_margin : effective_band_rows();
+        if (cross_margin > 0) return cross_margin;
+        // Region-spawned scenarios have no band to infer a margin from:
+        // agents must step onto a goal cell (geodesic distance 0 < 1).
+        if (!layout.spawns.empty()) return 1;
+        return effective_band_rows();
     }
     [[nodiscard]] std::size_t total_agents() const {
-        return 2 * agents_per_side;
+        if (layout.spawns.empty()) return 2 * agents_per_side;
+        std::size_t n = 0;
+        for (const auto& s : layout.spawns) n += s.count;
+        return n;
     }
+
+    bool operator==(const SimConfig&) const = default;
 };
 
 }  // namespace pedsim::core

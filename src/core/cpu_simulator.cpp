@@ -21,7 +21,7 @@ void CpuSimulator::stage_initial_calc() {
 
             const auto fwd = grid::kNeighborOffsets[static_cast<std::size_t>(
                 grid::forward_neighbor(g))];
-            const bool front_empty = env_.empty_or_wall(r + fwd.dr, c + fwd.dc);
+            const bool front_empty = env_.walkable(r + fwd.dr, c + fwd.dc);
             props_.front_blocked[idx] = front_empty ? 0 : 1;
 
             const bool panicked = panic_applies(r, c);

@@ -37,7 +37,10 @@ struct TourShared {
     std::array<double, 32 * grid::kNeighborCount> values{};
 };
 
-constexpr std::uint8_t kWallOcc = 255;  // off-grid sentinel: occupied
+// Off-grid halo fill and in-grid static walls share grid::kWallOcc: both
+// read as occupied in every emptiness test, with index 0 so the dump row
+// absorbs any work a wall-assigned thread produces.
+using grid::kWallOcc;
 
 }  // namespace
 

@@ -8,7 +8,7 @@ int build_candidates_lem(const grid::Environment& env,
                          const grid::DistanceField& df, grid::Group g, int r,
                          int c, double* values, std::int8_t* cells) {
     return build_candidates_lem_t(
-        [&](int nr, int nc) { return env.empty_or_wall(nr, nc); }, df, g, r,
+        [&](int nr, int nc) { return env.walkable(nr, nc); }, df, g, r,
         c, values, cells);
 }
 
@@ -18,7 +18,7 @@ int build_candidates_aco(const grid::Environment& env,
                          grid::Group g, int r, int c, double* values,
                          std::int8_t* cells) {
     return build_candidates_aco_t(
-        [&](int nr, int nc) { return env.empty_or_wall(nr, nc); },
+        [&](int nr, int nc) { return env.walkable(nr, nc); },
         [&](int nr, int nc) { return pher.at(g, nr, nc); }, df, params, g, r,
         c, values, cells);
 }

@@ -31,8 +31,12 @@ inline constexpr double kMinHeuristicDistance = 0.5;
 /// from: the CPU engine passes environment-backed callables, the GPU-style
 /// engine passes shared-memory tile views. Both produce identical values.
 ///
-/// LEM flavour: value = distance of the candidate to the target
-/// (ascending by construction — the paper's sorted scan row).
+/// LEM flavour: value = distance of the candidate to the target, sorted
+/// ascending — the paper's sorted scan row. In the analytic field the
+/// ranked visit order already yields non-decreasing values, so the stable
+/// insertion sort is the identity there (bit-parity with the paper's
+/// corridor); in a geodesic field obstacles can reorder neighbours, and
+/// the sort restores the rank-draw's "slot 0 = least effort" contract.
 /// `empty(r, c)` -> true when the cell is in bounds and unoccupied.
 template <typename EmptyFn>
 int build_candidates_lem_t(EmptyFn&& empty, const grid::DistanceField& df,
@@ -44,8 +48,16 @@ int build_candidates_lem_t(EmptyFn&& empty, const grid::DistanceField& df,
         const int nr = r + off.dr;
         const int nc = c + off.dc;
         if (!empty(nr, nc)) continue;
-        values[n] = df.distance(g, nr, off.dc);
-        cells[n] = static_cast<std::int8_t>(k);
+        const double d = df.cost(g, nr, nc, off.dc);
+        // Stable insertion sort over at most 8 slots.
+        int pos = n;
+        while (pos > 0 && values[pos - 1] > d) {
+            values[pos] = values[pos - 1];
+            cells[pos] = cells[pos - 1];
+            --pos;
+        }
+        values[pos] = d;
+        cells[pos] = static_cast<std::int8_t>(k);
         ++n;
     }
     return n;
@@ -66,7 +78,7 @@ int build_candidates_aco_t(EmptyFn&& empty, TauFn&& tau,
         const int nc = c + off.dc;
         if (!empty(nr, nc)) continue;
         const double d =
-            std::max(df.distance(g, nr, off.dc), kMinHeuristicDistance);
+            std::max(df.cost(g, nr, nc, off.dc), kMinHeuristicDistance);
         values[n] = std::pow(tau(nr, nc), params.alpha) *
                     std::pow(1.0 / d, params.beta);
         cells[n] = static_cast<std::int8_t>(k);
@@ -113,7 +125,7 @@ int build_candidates_lem_scan_t(EmptyFn&& empty,
         if (!empty(nr, nc)) continue;
         const double congestion = ray_congestion(
             empty, nr, nc, off.dr, off.dc, scan.range, gcfg);
-        const double effort = df.distance(g, nr, off.dc) *
+        const double effort = df.cost(g, nr, nc, off.dc) *
                               (1.0 + scan.congestion_weight * congestion);
         // Stable insertion sort over at most 8 slots.
         int pos = n;

@@ -8,6 +8,18 @@ namespace pedsim::core {
 
 std::vector<grid::PlacedAgent> Simulator::init_agents(
     grid::Environment& env, const SimConfig& config) {
+    // Static walls go in first so both placement modes sample around them.
+    for (const auto cell : config.layout.wall_cells) {
+        if (cell >= config.grid.cell_count()) {
+            throw std::invalid_argument("layout: wall cell off-grid");
+        }
+        const int r = static_cast<int>(cell) / config.grid.cols;
+        const int c = static_cast<int>(cell) % config.grid.cols;
+        env.set_wall(r, c);
+    }
+    if (!config.layout.spawns.empty()) {
+        return grid::place_regions(env, config.layout.spawns, config.seed);
+    }
     grid::PlacementConfig pc;
     pc.agents_per_side = config.agents_per_side;
     pc.band_rows = config.effective_band_rows();
@@ -16,10 +28,18 @@ std::vector<grid::PlacedAgent> Simulator::init_agents(
     return grid::place_bidirectional(env, pc);
 }
 
+grid::DistanceField Simulator::init_distance_field(const SimConfig& config) {
+    if (config.layout.needs_geodesic()) {
+        return grid::DistanceField(config.grid, config.layout.wall_cells,
+                                   config.layout.goal_cells);
+    }
+    return grid::DistanceField(config.grid);
+}
+
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
       env_(config.grid),
-      df_(config.grid),
+      df_(init_distance_field(config)),
       placed_(init_agents(env_, config_)),
       props_(placed_),
       scan_(placed_.size()) {
@@ -39,7 +59,7 @@ Simulator::Simulator(const SimConfig& config)
 }
 
 int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
-    auto empty = [&](int rr, int cc) { return env_.empty_or_wall(rr, cc); };
+    auto empty = [&](int rr, int cc) { return env_.walkable(rr, cc); };
     const auto idx = static_cast<std::size_t>(i);
     if (props_.panicked[idx] != 0) {
         return build_candidates_flee_t(empty, config_.panic, g, r, c,
@@ -182,7 +202,9 @@ void Simulator::finish_step(const std::vector<Move>& moves,
         const auto idx = static_cast<std::size_t>(m.agent);
         if (props_.crossed[idx] != 0) continue;
         const grid::Group g = props_.group_of(m.agent);
-        if (!df_.crossed(g, props_.row[idx], margin)) continue;
+        if (!df_.crossed_at(g, props_.row[idx], props_.col[idx], margin)) {
+            continue;
+        }
         props_.crossed[idx] = 1;
         if (g == grid::Group::kTop) {
             ++crossed_top_;

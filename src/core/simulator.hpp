@@ -116,7 +116,7 @@ class Simulator {
 
     /// Shared emptiness test for stage-b candidate building via env.
     [[nodiscard]] bool cell_empty(int r, int c) const {
-        return env_.empty_or_wall(r, c);
+        return env_.walkable(r, c);
     }
 
     SimConfig config_;
@@ -133,6 +133,9 @@ class Simulator {
   private:
     static std::vector<grid::PlacedAgent> init_agents(
         grid::Environment& env, const SimConfig& config);
+    /// Analytic table for the paper's empty corridor, geodesic field as
+    /// soon as the layout has walls or custom goals.
+    static grid::DistanceField init_distance_field(const SimConfig& config);
 };
 
 /// Factory: the paper's sequential CPU comparator.

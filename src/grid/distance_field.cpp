@@ -1,5 +1,8 @@
 #include "grid/distance_field.hpp"
 
+#include <queue>
+#include <stdexcept>
+
 namespace pedsim::grid {
 
 DistanceField::DistanceField(GridConfig config) : config_(config) {
@@ -9,6 +12,82 @@ DistanceField::DistanceField(GridConfig config) : config_(config) {
             const double v = static_cast<double>(vert);
             group_table[vert][0] = v;
             group_table[vert][1] = std::sqrt(v * v + 1.0);
+        }
+    }
+}
+
+DistanceField::DistanceField(
+    GridConfig config, const std::vector<std::uint32_t>& wall_cells,
+    const std::array<std::vector<std::uint32_t>, 2>& goal_cells)
+    : DistanceField(config) {
+    // The analytic table stays populated (it is O(rows) per group), so the
+    // row-based distance()/crossed() accessors remain safe to call even
+    // though geodesic cost()/crossed_at() supersede them.
+    geodesic_ = true;
+    for (const auto g : {Group::kTop, Group::kBottom}) {
+        const auto gi = static_cast<std::size_t>(g == Group::kTop ? 0 : 1);
+        std::vector<std::uint32_t> goals = goal_cells[gi];
+        if (goals.empty()) {
+            // Default goal: the group's far edge row, as in the corridor.
+            const int row = target_row(g);
+            goals.reserve(static_cast<std::size_t>(config_.cols));
+            for (int c = 0; c < config_.cols; ++c) {
+                goals.push_back(static_cast<std::uint32_t>(
+                    static_cast<std::size_t>(row) * config_.cols +
+                    static_cast<std::size_t>(c)));
+            }
+        }
+        build_geodesic(g, wall_cells, goals);
+    }
+}
+
+void DistanceField::build_geodesic(Group g,
+                                   const std::vector<std::uint32_t>& walls,
+                                   const std::vector<std::uint32_t>& goals) {
+    const std::size_t cells = config_.cell_count();
+    auto& dist = geo_[g == Group::kTop ? 0 : 1];
+    dist.assign(cells, kUnreachable);
+
+    std::vector<std::uint8_t> wall(cells, 0);
+    for (const auto w : walls) {
+        if (w >= cells) {
+            throw std::invalid_argument("DistanceField: wall cell off-grid");
+        }
+        wall[w] = 1;
+    }
+
+    using Item = std::pair<double, std::uint32_t>;  // (distance, flat cell)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (const auto cell : goals) {
+        if (cell >= cells || wall[cell]) continue;
+        if (dist[cell] > 0.0) {
+            dist[cell] = 0.0;
+            pq.push({0.0, cell});
+        }
+    }
+
+    const double kDiag = std::sqrt(2.0);
+    while (!pq.empty()) {
+        const auto [d, cell] = pq.top();
+        pq.pop();
+        if (d > dist[cell]) continue;  // stale entry
+        const int r = static_cast<int>(cell) / config_.cols;
+        const int c = static_cast<int>(cell) % config_.cols;
+        for (const auto off : kNeighborOffsets) {
+            const int nr = r + off.dr;
+            const int nc = c + off.dc;
+            if (nr < 0 || nr >= config_.rows || nc < 0 || nc >= config_.cols) {
+                continue;
+            }
+            const auto ncell = static_cast<std::uint32_t>(
+                static_cast<std::size_t>(nr) * config_.cols +
+                static_cast<std::size_t>(nc));
+            if (wall[ncell]) continue;
+            const double nd = d + (off.dr != 0 && off.dc != 0 ? kDiag : 1.0);
+            if (nd < dist[ncell]) {
+                dist[ncell] = nd;
+                pq.push({nd, ncell});
+            }
         }
     }
 }

@@ -1,15 +1,26 @@
 // Distance-to-target geometry (the paper's constant-memory distance matrix).
 //
-// Each group's target is the far edge row. The effort of standing at cell
-// (r, c) is the Euclidean distance to the closest point of the target row,
-// which for a straight-ahead walker is the point (target_row, c). Moving to
-// a lateral/diagonal neighbour adds a column displacement, so neighbour
-// distances order exactly as the paper describes (section IV.b): forward <
-// forward-diagonals < laterals < back < back-diagonals.
+// Two modes share one interface:
+//
+//  - Analytic (the paper's corridor): each group's target is the far edge
+//    row. The effort of standing at cell (r, c) is the Euclidean distance to
+//    the closest point of the target row, which for a straight-ahead walker
+//    is the point (target_row, c). Moving to a lateral/diagonal neighbour
+//    adds a column displacement, so neighbour distances order exactly as the
+//    paper describes (section IV.b): forward < forward-diagonals < laterals
+//    < back < back-diagonals.
+//
+//  - Geodesic (obstacle-aware scenarios): per-group multi-source Dijkstra
+//    from the group's goal cells over the 8-neighbourhood of non-wall cells
+//    (orthogonal step 1, diagonal step sqrt 2), precomputed flat at
+//    construction like the paper's constant memory. Scenarios without walls
+//    or custom goals use the analytic mode, so seed behaviour is untouched.
 #pragma once
 
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "grid/environment.hpp"
 #include "grid/neighborhood.hpp"
@@ -20,7 +31,21 @@ namespace pedsim::grid {
 /// construction — the paper stores the equivalent in GPU constant memory.
 class DistanceField {
   public:
+    /// Geodesic distance of a cell walled off from every goal.
+    static constexpr double kUnreachable = 1e30;
+
+    /// Analytic mode: empty corridor, goal = the group's far edge row.
     explicit DistanceField(GridConfig config);
+
+    /// Geodesic mode: `wall_cells` are flat ids of static walls;
+    /// `goal_cells[g]` are flat ids of group g's goal cells (empty = the
+    /// group's far edge row). A group whose goals are all walls gets an
+    /// all-unreachable field (legal for groups that field no agents).
+    DistanceField(GridConfig config,
+                  const std::vector<std::uint32_t>& wall_cells,
+                  const std::array<std::vector<std::uint32_t>, 2>& goal_cells);
+
+    [[nodiscard]] bool geodesic() const { return geodesic_; }
 
     [[nodiscard]] int target_row(Group g) const {
         return g == Group::kTop ? config_.rows - 1 : 0;
@@ -28,7 +53,7 @@ class DistanceField {
 
     /// Remaining-effort distance of standing at row r with lateral
     /// displacement dc relative to the agent's current column.
-    /// dc in {-1, 0, +1} for the 8-neighbourhood.
+    /// dc in {-1, 0, +1} for the 8-neighbourhood. Analytic mode only.
     [[nodiscard]] double distance(Group g, int r, int dc) const {
         const int vert = std::abs(target_row(g) - r);
         // Hot path: the three possible hypotenuses per row are precomputed.
@@ -36,26 +61,58 @@ class DistanceField {
                      [static_cast<std::size_t>(std::abs(dc))];
     }
 
+    /// Geodesic distance-to-goal of cell (r, c). Geodesic mode only.
+    [[nodiscard]] double geo(Group g, int r, int c) const {
+        return geo_[g == Group::kTop ? 0 : 1]
+                   [static_cast<std::size_t>(r) * config_.cols +
+                    static_cast<std::size_t>(c)];
+    }
+
+    /// Remaining-effort of the CANDIDATE cell (r, c) for an agent standing
+    /// at column c - dc — the one call the movement rules make. Analytic
+    /// mode reproduces the paper's table bit-exactly; geodesic mode reads
+    /// the precomputed field (where the lateral component is already part
+    /// of the metric).
+    [[nodiscard]] double cost(Group g, int r, int c, int dc) const {
+        return geodesic_ ? geo(g, r, c) : distance(g, r, dc);
+    }
+
     /// Distance of neighbour cell #k (0-based index into kNeighborOffsets)
     /// of an agent at (r, c) — clamps are the caller's job; this is pure
-    /// geometry.
+    /// geometry. Analytic mode only.
     [[nodiscard]] double neighbor_distance(Group g, int r, int k) const {
         const auto off = kNeighborOffsets[static_cast<std::size_t>(k)];
         return distance(g, r + off.dr, off.dc);
     }
 
     /// True once an agent at row r has reached (or passed) the crossing
-    /// line: within `margin` rows of the target edge.
+    /// line: within `margin` rows of the target edge. Analytic mode only.
     [[nodiscard]] bool crossed(Group g, int r, int margin) const {
         return g == Group::kTop ? r >= config_.rows - margin : r < margin;
     }
 
+    /// Position-aware crossing test used by the engines. Analytic mode
+    /// reduces exactly to crossed(g, r, margin); geodesic mode checks the
+    /// goal distance (on an empty grid with edge-row goals the two agree on
+    /// every cell).
+    [[nodiscard]] bool crossed_at(Group g, int r, int c, int margin) const {
+        if (!geodesic_) return crossed(g, r, margin);
+        return geo(g, r, c) < static_cast<double>(margin);
+    }
+
   private:
+    void build_geodesic(Group g, const std::vector<std::uint32_t>& walls,
+                        const std::vector<std::uint32_t>& goals);
+
     GridConfig config_;
-    // [group][|target_row - r|][|dc|] -> Euclidean distance. The vertical
-    // distance fully determines the value, so one row-indexed table per
-    // group suffices (and stays cache-resident like constant memory).
+    bool geodesic_ = false;
+    // Analytic: [group][|target_row - r|][|dc|] -> Euclidean distance. The
+    // vertical distance fully determines the value, so one row-indexed
+    // table per group suffices (and stays cache-resident like constant
+    // memory).
     std::array<std::vector<std::array<double, 2>>, 2> table_;
+    // Geodesic: [group][flat cell] -> distance to the nearest goal cell.
+    std::array<std::vector<double>, 2> geo_;
 };
 
 }  // namespace pedsim::grid

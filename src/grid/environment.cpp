@@ -42,9 +42,22 @@ void Environment::move(int fr, int fc, int tr, int tc) {
     index_[from] = 0;
 }
 
+void Environment::set_wall(int r, int c) {
+    if (!in_bounds(r, c)) throw std::out_of_range("set_wall: off-grid");
+    if (!empty(r, c)) throw std::logic_error("set_wall: cell already occupied");
+    occupancy_[flat(r, c)] = kWallOcc;
+    index_[flat(r, c)] = 0;
+}
+
 std::size_t Environment::population() const {
     std::size_t n = 0;
-    for (const auto v : occupancy_) n += (v != 0);
+    for (const auto v : occupancy_) n += (v != 0 && v != kWallOcc);
+    return n;
+}
+
+std::size_t Environment::wall_count() const {
+    std::size_t n = 0;
+    for (const auto v : occupancy_) n += (v == kWallOcc);
     return n;
 }
 

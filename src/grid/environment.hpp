@@ -11,6 +11,13 @@
 
 namespace pedsim::grid {
 
+/// Occupancy sentinel for a static wall cell. The SIMT halo loaders already
+/// use this value for off-grid cells, so in-grid walls flow through both
+/// engines' emptiness tests with zero new branches: any non-zero occupancy
+/// blocks movement, and a wall's index stays 0 so it never proposes,
+/// gathers, or deposits.
+inline constexpr std::uint8_t kWallOcc = 255;
+
 /// Geometry of the environment. The paper fixes 480x480 and requires
 /// dimensions to be multiples of the 16x16 tile edge.
 struct GridConfig {
@@ -57,10 +64,14 @@ class Environment {
     [[nodiscard]] bool empty(int r, int c) const {
         return occupancy_[flat(r, c)] == 0;
     }
+    [[nodiscard]] bool is_wall(int r, int c) const {
+        return occupancy_[flat(r, c)] == kWallOcc;
+    }
 
-    /// Out-of-bounds-tolerant variants: positions off the grid read as
-    /// occupied walls (an agent can never move off the edge).
-    [[nodiscard]] bool empty_or_wall(int r, int c) const {
+    /// True when an agent could stand at (r, c): in bounds, no wall, no
+    /// other agent. Positions off the grid read as walls (an agent can
+    /// never move off the edge).
+    [[nodiscard]] bool walkable(int r, int c) const {
         return in_bounds(r, c) && empty(r, c);
     }
 
@@ -68,6 +79,10 @@ class Environment {
     void clear(int r, int c);
     /// Move the contents of (fr, fc) to the empty cell (tr, tc).
     void move(int fr, int fc, int tr, int tc);
+
+    /// Turn the empty cell (r, c) into a static wall (occupancy kWallOcc,
+    /// index 0). Walls are placed once, before agents, and never removed.
+    void set_wall(int r, int c);
 
     [[nodiscard]] std::size_t flat(int r, int c) const {
         return static_cast<std::size_t>(r) * config_.cols +
@@ -86,8 +101,11 @@ class Environment {
     }
     [[nodiscard]] std::vector<std::int32_t>& index_raw() { return index_; }
 
-    /// Number of occupied cells (linear scan; used by tests/invariants).
+    /// Number of cells occupied by agents, excluding walls (linear scan;
+    /// used by tests/invariants).
     [[nodiscard]] std::size_t population() const;
+    /// Number of static wall cells.
+    [[nodiscard]] std::size_t wall_count() const;
 
     bool operator==(const Environment&) const = default;
 

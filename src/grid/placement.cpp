@@ -21,18 +21,14 @@ int required_band_rows(std::size_t agents, int cols, double max_fill) {
 
 namespace {
 
-/// Sample `count` distinct cells from a band of `band_rows * cols` cells via
-/// a partial Fisher-Yates over cell ids — deterministic in the stream.
-std::vector<std::uint32_t> sample_band_cells(std::size_t count,
-                                             std::size_t band_cells,
-                                             rng::Stream& stream) {
-    std::vector<std::uint32_t> ids(band_cells);
-    for (std::size_t i = 0; i < band_cells; ++i) {
-        ids[i] = static_cast<std::uint32_t>(i);
-    }
+/// Sample `count` distinct entries of `ids` via a partial Fisher-Yates —
+/// deterministic in the stream. `ids` is consumed in place.
+std::vector<std::uint32_t> sample_cells(std::size_t count,
+                                        std::vector<std::uint32_t> ids,
+                                        rng::Stream& stream) {
     for (std::size_t i = 0; i < count; ++i) {
         const auto j =
-            i + stream.next_below(static_cast<std::uint32_t>(band_cells - i));
+            i + stream.next_below(static_cast<std::uint32_t>(ids.size() - i));
         std::swap(ids[i], ids[j]);
     }
     ids.resize(count);
@@ -63,11 +59,28 @@ std::vector<PlacedAgent> place_bidirectional(Environment& env,
 
     const Group groups[2] = {Group::kTop, Group::kBottom};
     for (int g = 0; g < 2; ++g) {
+        // Candidate band cells, walls excluded. A wall-free band lists all
+        // band_cells ids in order, making the sample (and therefore the
+        // whole run) bit-identical to the seed's wall-oblivious code.
+        std::vector<std::uint32_t> ids;
+        ids.reserve(band_cells);
+        for (std::uint32_t cell = 0; cell < band_cells; ++cell) {
+            const int band_row = static_cast<int>(cell) / cols;
+            const int col = static_cast<int>(cell) % cols;
+            const int row = groups[g] == Group::kTop
+                                ? band_row
+                                : env.rows() - 1 - band_row;
+            if (env.walkable(row, col)) ids.push_back(cell);
+        }
+        if (cfg.agents_per_side > ids.size()) {
+            throw std::invalid_argument(
+                "placement band too small for population");
+        }
         rng::Stream stream(cfg.seed, rng::Stage::kPlacement,
                            /*entity=*/static_cast<std::uint64_t>(g),
                            /*step=*/0);
         const auto cells =
-            sample_band_cells(cfg.agents_per_side, band_cells, stream);
+            sample_cells(cfg.agents_per_side, std::move(ids), stream);
         for (const auto cell : cells) {
             const int band_row = static_cast<int>(cell) / cols;
             const int col = static_cast<int>(cell) % cols;
@@ -77,6 +90,50 @@ std::vector<PlacedAgent> place_bidirectional(Environment& env,
                                 : env.rows() - 1 - band_row;
             env.place(row, col, groups[g], next_index);
             agents.push_back({next_index, groups[g], row, col});
+            ++next_index;
+        }
+    }
+    return agents;
+}
+
+std::vector<PlacedAgent> place_regions(Environment& env,
+                                       const std::vector<RegionSpawn>& spawns,
+                                       std::uint64_t seed) {
+    std::vector<PlacedAgent> agents;
+    std::int32_t next_index = 1;
+    for (std::size_t ri = 0; ri < spawns.size(); ++ri) {
+        const auto& s = spawns[ri];
+        if (s.group == Group::kNone) {
+            throw std::invalid_argument("place_regions: spawn needs a group");
+        }
+        if (s.row1 < s.row0 || s.col1 < s.col0 || s.row0 < 0 ||
+            s.col0 < 0 || s.row1 >= env.rows() || s.col1 >= env.cols()) {
+            throw std::invalid_argument("place_regions: bad region rect");
+        }
+        std::vector<std::uint32_t> ids;
+        for (int r = s.row0; r <= s.row1; ++r) {
+            for (int c = s.col0; c <= s.col1; ++c) {
+                if (env.walkable(r, c)) {
+                    ids.push_back(
+                        static_cast<std::uint32_t>(env.flat(r, c)));
+                }
+            }
+        }
+        if (s.count > ids.size()) {
+            throw std::invalid_argument(
+                "place_regions: region too small for its population");
+        }
+        // Entities 0/1 key the band placement; regions start at 2 so the
+        // two modes never share a stream.
+        rng::Stream stream(seed, rng::Stage::kPlacement,
+                           /*entity=*/2 + static_cast<std::uint64_t>(ri),
+                           /*step=*/0);
+        const auto cells = sample_cells(s.count, std::move(ids), stream);
+        for (const auto cell : cells) {
+            const int row = static_cast<int>(cell) / env.cols();
+            const int col = static_cast<int>(cell) % env.cols();
+            env.place(row, col, s.group, next_index);
+            agents.push_back({next_index, s.group, row, col});
             ++next_index;
         }
     }

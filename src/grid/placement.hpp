@@ -32,9 +32,33 @@ struct PlacementConfig {
 /// Rows needed for `agents` agents across `cols` columns at `max_fill`.
 int required_band_rows(std::size_t agents, int cols, double max_fill);
 
-/// Randomly place both groups into `env` (must be empty) and return the
-/// agents in index order. Throws if the population cannot fit.
+/// Randomly place both groups into `env` and return the agents in index
+/// order. Static walls may already be present: band cells under a wall are
+/// excluded from the sample (with no walls the candidate list — and hence
+/// every stream draw — is identical to the seed's). Throws if the
+/// population cannot fit.
 std::vector<PlacedAgent> place_bidirectional(Environment& env,
                                              const PlacementConfig& cfg);
+
+/// One rectangular spawn request: `count` agents of `group` on the
+/// walkable cells of the inclusive rect [row0, row1] x [col0, col1].
+struct RegionSpawn {
+    Group group = Group::kTop;
+    int row0 = 0;
+    int col0 = 0;
+    int row1 = 0;
+    int col1 = 0;
+    std::size_t count = 0;
+
+    bool operator==(const RegionSpawn&) const = default;
+};
+
+/// Scenario placement: fill each region in order with seeded uniform
+/// sampling over its currently-walkable cells (region index keys the
+/// stream, so edits to one region never reshuffle another). Indices are
+/// consecutive from 1 across regions. Throws if a region cannot fit.
+std::vector<PlacedAgent> place_regions(Environment& env,
+                                       const std::vector<RegionSpawn>& spawns,
+                                       std::uint64_t seed);
 
 }  // namespace pedsim::grid

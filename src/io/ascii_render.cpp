@@ -18,12 +18,16 @@ std::string render(const grid::Environment& env, RenderOptions opts) {
     for (int br = 0; br < out_rows; ++br) {
         if (opts.border) os << '|';
         for (int bc = 0; bc < out_cols; ++bc) {
-            int top = 0, bottom = 0, cells = 0;
+            int top = 0, bottom = 0, walls = 0, cells = 0;
             for (int r = br * block_r;
                  r < std::min((br + 1) * block_r, env.rows()); ++r) {
                 for (int c = bc * block_c;
                      c < std::min((bc + 1) * block_c, env.cols()); ++c) {
                     ++cells;
+                    if (env.is_wall(r, c)) {
+                        ++walls;
+                        continue;
+                    }
                     const auto g = env.occupancy(r, c);
                     top += (g == grid::Group::kTop);
                     bottom += (g == grid::Group::kBottom);
@@ -36,6 +40,8 @@ std::string render(const grid::Environment& env, RenderOptions opts) {
                 ch = top * 2 >= cells ? 'V' : 'v';
             } else if (bottom > 0) {
                 ch = bottom * 2 >= cells ? 'A' : '^';
+            } else if (walls > 0) {
+                ch = '#';
             }
             os << ch;
         }

@@ -1,6 +1,7 @@
 // ASCII rendering of the environment for the visualizer example and for
 // debugging: top agents 'v' (walking down), bottom agents '^' (walking up),
-// with density downsampling for grids larger than the terminal.
+// static walls '#', with density downsampling for grids larger than the
+// terminal.
 #pragma once
 
 #include <string>

@@ -1,0 +1,365 @@
+#include "io/scenario_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pedsim::io {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos) return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string tok;
+    while (is >> tok) out.push_back(tok);
+    return out;
+}
+
+long long to_int(const std::string& key, const std::string& v) {
+    try {
+        std::size_t pos = 0;
+        const long long x = std::stoll(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return x;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("scenario: bad integer for " + key +
+                                    ": '" + v + "'");
+    }
+}
+
+double to_double(const std::string& key, const std::string& v) {
+    try {
+        std::size_t pos = 0;
+        const double x = std::stod(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return x;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("scenario: bad number for " + key +
+                                    ": '" + v + "'");
+    }
+}
+
+bool to_bool(const std::string& key, const std::string& v) {
+    if (v == "true" || v == "1") return true;
+    if (v == "false" || v == "0") return false;
+    throw std::invalid_argument("scenario: bad bool for " + key + ": '" + v +
+                                "'");
+}
+
+grid::Group to_group(const std::string& v) {
+    if (v == "top") return grid::Group::kTop;
+    if (v == "bottom") return grid::Group::kBottom;
+    throw std::invalid_argument("scenario: bad group: '" + v + "'");
+}
+
+const char* group_name(grid::Group g) {
+    return g == grid::Group::kTop ? "top" : "bottom";
+}
+
+std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+struct ParseState {
+    bool saw_rows = false;
+    bool saw_cols = false;
+};
+
+void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
+               const std::string& value) {
+    auto& sim = s.sim;
+    if (key == "name") {
+        s.name = value;
+    } else if (key == "description") {
+        s.description = value;
+    } else if (key == "steps") {
+        s.default_steps = static_cast<int>(to_int(key, value));
+    } else if (key == "rows") {
+        sim.grid.rows = static_cast<int>(to_int(key, value));
+        st.saw_rows = true;
+    } else if (key == "cols") {
+        sim.grid.cols = static_cast<int>(to_int(key, value));
+        st.saw_cols = true;
+    } else if (key == "model") {
+        if (value == "lem") {
+            sim.model = core::Model::kLem;
+        } else if (value == "aco") {
+            sim.model = core::Model::kAco;
+        } else {
+            throw std::invalid_argument("scenario: bad model: '" + value +
+                                        "'");
+        }
+    } else if (key == "seed") {
+        sim.seed = static_cast<std::uint64_t>(to_int(key, value));
+    } else if (key == "agents_per_side") {
+        sim.agents_per_side = static_cast<std::size_t>(to_int(key, value));
+    } else if (key == "band_rows") {
+        sim.band_rows = static_cast<int>(to_int(key, value));
+    } else if (key == "max_band_fill") {
+        sim.max_band_fill = to_double(key, value);
+    } else if (key == "cross_margin") {
+        sim.cross_margin = static_cast<int>(to_int(key, value));
+    } else if (key == "exit_on_cross") {
+        sim.exit_on_cross = to_bool(key, value);
+    } else if (key == "forward_priority") {
+        sim.forward_priority = to_bool(key, value);
+    } else if (key == "sigma") {
+        sim.lem.sigma = to_double(key, value);
+    } else if (key == "alpha") {
+        sim.aco.alpha = to_double(key, value);
+    } else if (key == "beta") {
+        sim.aco.beta = to_double(key, value);
+    } else if (key == "rho") {
+        sim.aco.rho = to_double(key, value);
+    } else if (key == "q") {
+        sim.aco.q = to_double(key, value);
+    } else if (key == "tau0") {
+        sim.aco.tau0 = to_double(key, value);
+    } else if (key == "tau_min") {
+        sim.aco.tau_min = to_double(key, value);
+    } else if (key == "scan_range") {
+        sim.scan.range = static_cast<int>(to_int(key, value));
+    } else if (key == "congestion_weight") {
+        sim.scan.congestion_weight = to_double(key, value);
+    } else if (key == "slow_fraction") {
+        sim.speed.slow_fraction = to_double(key, value);
+    } else if (key == "slow_period") {
+        sim.speed.slow_period = static_cast<int>(to_int(key, value));
+    } else if (key == "panic") {
+        const auto f = split_ws(value);
+        if (f.size() != 4) {
+            throw std::invalid_argument(
+                "scenario: panic wants 'trigger_step row col radius'");
+        }
+        sim.panic.enabled = true;
+        sim.panic.trigger_step =
+            static_cast<std::uint64_t>(to_int(key, f[0]));
+        sim.panic.row = static_cast<int>(to_int(key, f[1]));
+        sim.panic.col = static_cast<int>(to_int(key, f[2]));
+        sim.panic.radius = to_double(key, f[3]);
+    } else if (key == "spawn") {
+        const auto f = split_ws(value);
+        if (f.size() != 6) {
+            throw std::invalid_argument(
+                "scenario: spawn wants 'group row0 col0 row1 col1 count'");
+        }
+        grid::RegionSpawn r;
+        r.group = to_group(f[0]);
+        r.row0 = static_cast<int>(to_int(key, f[1]));
+        r.col0 = static_cast<int>(to_int(key, f[2]));
+        r.row1 = static_cast<int>(to_int(key, f[3]));
+        r.col1 = static_cast<int>(to_int(key, f[4]));
+        r.count = static_cast<std::size_t>(to_int(key, f[5]));
+        sim.layout.spawns.push_back(r);
+    } else {
+        throw std::invalid_argument("scenario: unknown key '" + key + "'");
+    }
+}
+
+void apply_map(scenario::Scenario& s, const ParseState& st,
+               const std::vector<std::string>& rows) {
+    auto& sim = s.sim;
+    const int map_rows = static_cast<int>(rows.size());
+    const int map_cols =
+        map_rows > 0 ? static_cast<int>(rows.front().size()) : 0;
+    if (map_rows == 0) throw std::invalid_argument("scenario: empty map");
+    // Map dimensions define the grid; explicit rows=/cols= keys must agree.
+    if ((st.saw_rows && sim.grid.rows != map_rows) ||
+        (st.saw_cols && sim.grid.cols != map_cols)) {
+        throw std::invalid_argument(
+            "scenario: rows=/cols= disagree with the map dimensions");
+    }
+    sim.grid.rows = map_rows;
+    sim.grid.cols = map_cols;
+    if (!sim.grid.tile_aligned()) {
+        throw std::invalid_argument(
+            "scenario: map dimensions must be positive multiples of the "
+            "16-cell tile edge");
+    }
+    for (int r = 0; r < map_rows; ++r) {
+        if (static_cast<int>(rows[static_cast<std::size_t>(r)].size()) !=
+            map_cols) {
+            throw std::invalid_argument("scenario: ragged map row " +
+                                        std::to_string(r));
+        }
+        for (int c = 0; c < map_cols; ++c) {
+            const char ch = rows[static_cast<std::size_t>(r)]
+                                [static_cast<std::size_t>(c)];
+            const auto cell = static_cast<std::uint32_t>(
+                static_cast<std::size_t>(r) * map_cols +
+                static_cast<std::size_t>(c));
+            switch (ch) {
+                case '#': sim.layout.wall_cells.push_back(cell); break;
+                case '.': break;
+                case 't': sim.layout.goal_cells[0].push_back(cell); break;
+                case 'b': sim.layout.goal_cells[1].push_back(cell); break;
+                case '*':
+                    sim.layout.goal_cells[0].push_back(cell);
+                    sim.layout.goal_cells[1].push_back(cell);
+                    break;
+                default:
+                    throw std::invalid_argument(
+                        std::string("scenario: bad map char '") + ch + "'");
+            }
+        }
+    }
+}
+
+}  // namespace
+
+scenario::Scenario parse_scenario(const std::string& text) {
+    scenario::Scenario s;
+    ParseState st;
+    std::istringstream is(text);
+    std::string line;
+    bool in_map = false;
+    std::vector<std::string> map_rows;
+    while (std::getline(is, line)) {
+        if (in_map) {
+            // Map rows are taken verbatim ('#' is a wall here, not a
+            // comment); trailing whitespace is stripped, blank lines end
+            // the block.
+            const auto row = trim(line);
+            if (row.empty()) {
+                in_map = false;
+                continue;
+            }
+            map_rows.push_back(row);
+            continue;
+        }
+        const auto t = trim(line);
+        if (t.empty() || t.front() == '#') continue;
+        if (t == "map:") {
+            if (!map_rows.empty()) {
+                throw std::invalid_argument(
+                    "scenario: more than one map block");
+            }
+            in_map = true;
+            continue;
+        }
+        const auto eq = t.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("scenario: expected key = value: '" +
+                                        t + "'");
+        }
+        apply_key(s, st, trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+    }
+    if (!map_rows.empty()) apply_map(s, st, map_rows);
+    if (!s.sim.grid.tile_aligned()) {
+        throw std::invalid_argument(
+            "scenario: grid dimensions must be positive multiples of the "
+            "16-cell tile edge");
+    }
+    scenario::canonicalize(s.sim.layout, s.sim.grid);
+    return s;
+}
+
+scenario::Scenario load_scenario_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read scenario file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_scenario(buf.str());
+}
+
+namespace {
+
+std::string to_text_canonical(const scenario::Scenario& s) {
+    const auto& sim = s.sim;
+    std::ostringstream os;
+    os << "# pedsim scenario\n";
+    os << "name = " << s.name << "\n";
+    if (!s.description.empty()) os << "description = " << s.description
+                                   << "\n";
+    os << "rows = " << sim.grid.rows << "\n";
+    os << "cols = " << sim.grid.cols << "\n";
+    os << "model = " << (sim.model == core::Model::kLem ? "lem" : "aco")
+       << "\n";
+    os << "seed = " << sim.seed << "\n";
+    os << "steps = " << s.default_steps << "\n";
+    os << "agents_per_side = " << sim.agents_per_side << "\n";
+    os << "band_rows = " << sim.band_rows << "\n";
+    os << "max_band_fill = " << fmt_double(sim.max_band_fill) << "\n";
+    os << "cross_margin = " << sim.cross_margin << "\n";
+    os << "exit_on_cross = " << (sim.exit_on_cross ? "true" : "false")
+       << "\n";
+    os << "forward_priority = " << (sim.forward_priority ? "true" : "false")
+       << "\n";
+    os << "sigma = " << fmt_double(sim.lem.sigma) << "\n";
+    os << "alpha = " << fmt_double(sim.aco.alpha) << "\n";
+    os << "beta = " << fmt_double(sim.aco.beta) << "\n";
+    os << "rho = " << fmt_double(sim.aco.rho) << "\n";
+    os << "q = " << fmt_double(sim.aco.q) << "\n";
+    os << "tau0 = " << fmt_double(sim.aco.tau0) << "\n";
+    os << "tau_min = " << fmt_double(sim.aco.tau_min) << "\n";
+    os << "scan_range = " << sim.scan.range << "\n";
+    os << "congestion_weight = " << fmt_double(sim.scan.congestion_weight)
+       << "\n";
+    os << "slow_fraction = " << fmt_double(sim.speed.slow_fraction) << "\n";
+    os << "slow_period = " << sim.speed.slow_period << "\n";
+    if (sim.panic.enabled) {
+        os << "panic = " << sim.panic.trigger_step << " " << sim.panic.row
+           << " " << sim.panic.col << " " << fmt_double(sim.panic.radius)
+           << "\n";
+    }
+    for (const auto& r : sim.layout.spawns) {
+        os << "spawn = " << group_name(r.group) << " " << r.row0 << " "
+           << r.col0 << " " << r.row1 << " " << r.col1 << " " << r.count
+           << "\n";
+    }
+    if (!sim.layout.wall_cells.empty() ||
+        !sim.layout.goal_cells[0].empty() ||
+        !sim.layout.goal_cells[1].empty()) {
+        os << "map:\n";
+        std::string row(static_cast<std::size_t>(sim.grid.cols), '.');
+        std::size_t wi = 0, g0 = 0, g1 = 0;
+        const auto& walls = sim.layout.wall_cells;
+        const auto& top = sim.layout.goal_cells[0];
+        const auto& bottom = sim.layout.goal_cells[1];
+        for (int r = 0; r < sim.grid.rows; ++r) {
+            row.assign(static_cast<std::size_t>(sim.grid.cols), '.');
+            const auto row_base = static_cast<std::uint32_t>(
+                static_cast<std::size_t>(r) * sim.grid.cols);
+            const auto row_end =
+                row_base + static_cast<std::uint32_t>(sim.grid.cols);
+            // Cell lists are canonical (sorted row-major): walk each once.
+            for (; wi < walls.size() && walls[wi] < row_end; ++wi) {
+                row[walls[wi] - row_base] = '#';
+            }
+            for (; g0 < top.size() && top[g0] < row_end; ++g0) {
+                row[top[g0] - row_base] = 't';
+            }
+            for (; g1 < bottom.size() && bottom[g1] < row_end; ++g1) {
+                const auto at = bottom[g1] - row_base;
+                row[at] = row[at] == 't' ? '*' : 'b';
+            }
+            os << row << "\n";
+        }
+    }
+    return os.str();
+}
+
+}  // namespace
+
+std::string scenario_to_text(const scenario::Scenario& s) {
+    // The map emitter walks each cell list in one monotonic pass, which is
+    // only correct (and in-bounds) for sorted row-major lists: canonicalize
+    // a copy so hand-built scenarios serialize safely too.
+    scenario::Scenario canon = s;
+    scenario::canonicalize(canon.sim.layout, canon.sim.grid);
+    return to_text_canonical(canon);
+}
+
+}  // namespace pedsim::io

@@ -1,0 +1,185 @@
+#include "scenario/registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pedsim::scenario {
+
+namespace {
+
+/// The paper's baseline: empty 480x480 bidirectional corridor, 1,280
+/// agents per side, LEM. `sim` is a default-constructed SimConfig on
+/// purpose — this entry must stay bit-identical to the seed defaults.
+Scenario paper_corridor() {
+    Scenario s;
+    s.name = "paper_corridor";
+    s.description =
+        "The paper's empty 480x480 bidirectional corridor, 1280 agents per "
+        "side, LEM (sections V-VI baseline)";
+    s.default_steps = 500;
+    return s;
+}
+
+/// Same corridor at test scale: quick to run on both engines.
+Scenario corridor_small() {
+    Scenario s;
+    s.name = "corridor_small";
+    s.description =
+        "64x64 empty bidirectional corridor, 400 agents per side, LEM";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 400;
+    s.default_steps = 300;
+    return s;
+}
+
+/// A two-cell-thick wall across the middle with one doorway: the crowd
+/// funnels through a 16-column gap in both directions. (An 8-wide gap at
+/// this density deadlocks in counterflow — real, but a poor showcase.)
+Scenario bottleneck_doorway() {
+    Scenario s;
+    s.name = "bottleneck_doorway";
+    s.description =
+        "64x64 bidirectional corridor split by a wall with one 16-wide "
+        "doorway at mid-grid";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 180;
+    add_wall_rect(s.sim.layout, s.sim.grid, 31, 0, 32, 23);
+    add_wall_rect(s.sim.layout, s.sim.grid, 31, 40, 32, 63);
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 400;
+    return s;
+}
+
+/// A regular field of 2x2 pillars across the mid-grid; ACO so trails can
+/// route the two streams around the obstacles.
+Scenario pillar_field() {
+    Scenario s;
+    s.name = "pillar_field";
+    s.description =
+        "64x64 bidirectional corridor with a regular field of 2x2 pillars, "
+        "ACO routing";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 250;
+    s.sim.model = core::Model::kAco;
+    for (int r = 20; r <= 42; r += 8) {
+        for (int c = 6; c <= 58; c += 8) {
+            add_wall_rect(s.sim.layout, s.sim.grid, r, c, r + 1, c + 1);
+        }
+    }
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 400;
+    return s;
+}
+
+/// An hourglass: side walls thicken linearly toward the waist at mid-grid,
+/// squeezing both streams through a 28-column throat.
+Scenario narrowing_corridor() {
+    Scenario s;
+    s.name = "narrowing_corridor";
+    s.description =
+        "64x64 bidirectional hourglass corridor narrowing to a 28-wide "
+        "waist at mid-grid";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 220;
+    for (int r = 15; r <= 49; ++r) {
+        const int t = 18 - std::abs(32 - r);  // wall depth from each side
+        if (t <= 0) continue;
+        add_wall_rect(s.sim.layout, s.sim.grid, r, 0, r, t - 1);
+        add_wall_rect(s.sim.layout, s.sim.grid, r, 64 - t, r, 63);
+    }
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 500;
+    return s;
+}
+
+/// A walled room with a single 4-cell door on the east wall; one group
+/// spawns inside and evacuates through the door (goal cells = the door).
+/// Forward priority is off: "forward" means south, but the way out is
+/// wherever the geodesic field says it is.
+Scenario room_evacuation() {
+    Scenario s;
+    s.name = "room_evacuation";
+    s.description =
+        "48x48 walled room, 320 agents evacuating through a single 4-cell "
+        "door in the east wall";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    s.sim.model = core::Model::kLem;
+    s.sim.forward_priority = false;
+    s.sim.cross_margin = 2;
+    add_wall_rect(s.sim.layout, s.sim.grid, 0, 0, 0, 47);    // north wall
+    add_wall_rect(s.sim.layout, s.sim.grid, 47, 0, 47, 47);  // south wall
+    add_wall_rect(s.sim.layout, s.sim.grid, 1, 0, 46, 0);    // west wall
+    add_wall_rect(s.sim.layout, s.sim.grid, 1, 47, 21, 47);  // east wall ...
+    add_wall_rect(s.sim.layout, s.sim.grid, 26, 47, 46, 47); // ... door gap
+    add_goal_rect(s.sim.layout, s.sim.grid, grid::Group::kTop, 22, 47, 25,
+                  47);
+    s.sim.layout.spawns.push_back(
+        {grid::Group::kTop, 6, 6, 41, 41, 320});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 600;
+    return s;
+}
+
+/// The small corridor with the section VII panic alarm: at step 60 an
+/// epicentre at mid-grid makes agents within radius 10 flee.
+Scenario panic_crossing() {
+    Scenario s;
+    s.name = "panic_crossing";
+    s.description =
+        "64x64 bidirectional corridor with a panic alarm at step 60, "
+        "epicentre mid-grid, radius 10";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 400;
+    s.sim.panic.enabled = true;
+    s.sim.panic.trigger_step = 60;
+    s.sim.panic.row = 32;
+    s.sim.panic.col = 32;
+    s.sim.panic.radius = 10.0;
+    s.default_steps = 300;
+    return s;
+}
+
+using Builder = Scenario (*)();
+
+constexpr std::pair<const char*, Builder> kBuiltins[] = {
+    {"paper_corridor", paper_corridor},
+    {"corridor_small", corridor_small},
+    {"bottleneck_doorway", bottleneck_doorway},
+    {"pillar_field", pillar_field},
+    {"narrowing_corridor", narrowing_corridor},
+    {"room_evacuation", room_evacuation},
+    {"panic_crossing", panic_crossing},
+};
+
+}  // namespace
+
+const std::vector<std::string>& names() {
+    static const std::vector<std::string> kNames = [] {
+        std::vector<std::string> v;
+        for (const auto& [name, builder] : kBuiltins) v.emplace_back(name);
+        return v;
+    }();
+    return kNames;
+}
+
+bool has(const std::string& name) {
+    for (const auto& [key, builder] : kBuiltins) {
+        if (name == key) return true;
+    }
+    return false;
+}
+
+Scenario get(const std::string& name) {
+    for (const auto& [key, builder] : kBuiltins) {
+        if (name == key) return builder();
+    }
+    throw std::out_of_range("unknown scenario: " + name);
+}
+
+std::vector<Scenario> all() {
+    std::vector<Scenario> v;
+    for (const auto& [key, builder] : kBuiltins) v.push_back(builder());
+    return v;
+}
+
+}  // namespace pedsim::scenario

@@ -1,0 +1,25 @@
+// Built-in scenario library. The paper's corridor is the first entry; the
+// rest exercise the obstacle-aware machinery: a doorway bottleneck, a field
+// of pillars, a narrowing corridor, a room evacuation through a single door,
+// and a panic alarm mid-crossing (section VII's crisis emulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace pedsim::scenario {
+
+/// Names of all built-in scenarios, in registry order.
+const std::vector<std::string>& names();
+
+[[nodiscard]] bool has(const std::string& name);
+
+/// Fetch a built-in by name; throws std::out_of_range for unknown names.
+Scenario get(const std::string& name);
+
+/// All built-ins, in registry order.
+std::vector<Scenario> all();
+
+}  // namespace pedsim::scenario

@@ -1,0 +1,125 @@
+#include "scenario/runner.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/cpu_simulator.hpp"
+#include "core/gpu_simulator.hpp"
+#include "io/table.hpp"
+#include "rng/philox.hpp"
+#include "scenario/registry.hpp"
+
+namespace pedsim::scenario {
+
+const char* engine_name(EngineKind e) {
+    return e == EngineKind::kCpu ? "cpu" : "gpu-simt";
+}
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+    constexpr std::uint64_t kPrime = 0x100000001B3ull;
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xFFu;
+        h *= kPrime;
+    }
+}
+
+}  // namespace
+
+std::uint64_t position_fingerprint(const core::Simulator& sim) {
+    std::uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+    const auto& p = sim.properties();
+    for (std::size_t i = 1; i < p.rows(); ++i) {
+        fnv_mix(h, static_cast<std::uint64_t>(i));
+        fnv_mix(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(p.row[i])));
+        fnv_mix(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(p.col[i])));
+        fnv_mix(h, p.active[i]);
+        fnv_mix(h, p.crossed[i]);
+    }
+    return h;
+}
+
+std::uint64_t repeat_seed(std::uint64_t base, int rep) {
+    if (rep == 0) return base;
+    return rng::splitmix64(base + static_cast<std::uint64_t>(rep));
+}
+
+std::unique_ptr<core::Simulator> make_engine(EngineKind e,
+                                             const core::SimConfig& cfg) {
+    return e == EngineKind::kCpu ? core::make_cpu_simulator(cfg)
+                                 : core::make_gpu_simulator(cfg);
+}
+
+ScenarioRunner::ScenarioRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
+
+RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
+                                  core::Model model, std::uint64_t seed,
+                                  int steps) const {
+    core::SimConfig cfg = s.sim;
+    cfg.model = model;
+    cfg.seed = seed;
+    const auto sim = make_engine(engine, cfg);
+    RunRecord rec;
+    rec.scenario = s.name;
+    rec.engine = engine;
+    rec.model = model;
+    rec.seed = seed;
+    rec.steps = steps;
+    rec.result = sim->run(steps);
+    rec.fingerprint = position_fingerprint(*sim);
+    return rec;
+}
+
+std::vector<RunRecord> ScenarioRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+    std::vector<RunRecord> records;
+    for (const auto& s : scenarios) {
+        const int steps =
+            opts_.steps_override > 0 ? opts_.steps_override : s.default_steps;
+        const std::vector<core::Model> models =
+            opts_.models.empty() ? std::vector<core::Model>{s.sim.model}
+                                 : opts_.models;
+        for (const auto model : models) {
+            for (int rep = 0; rep < opts_.repeats; ++rep) {
+                const auto seed = repeat_seed(s.sim.seed, rep);
+                for (const auto engine : opts_.engines) {
+                    records.push_back(run_one(s, engine, model, seed, steps));
+                }
+            }
+        }
+    }
+    return records;
+}
+
+std::vector<RunRecord> ScenarioRunner::run_registry() const {
+    return run(all());
+}
+
+std::string ScenarioRunner::summary_table(
+    const std::vector<RunRecord>& records) {
+    io::TablePrinter table({"scenario", "engine", "model", "seed", "steps",
+                            "crossed", "moves", "conflicts", "wall_s",
+                            "modeled_s", "fingerprint"});
+    for (const auto& r : records) {
+        char fp[20];
+        std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+        table.add_row(
+            {r.scenario, engine_name(r.engine),
+             r.model == core::Model::kLem ? "lem" : "aco",
+             std::to_string(r.seed), std::to_string(r.steps),
+             io::TablePrinter::integer(
+                 static_cast<long long>(r.result.crossed_total())),
+             io::TablePrinter::integer(
+                 static_cast<long long>(r.result.total_moves)),
+             io::TablePrinter::integer(
+                 static_cast<long long>(r.result.total_conflicts)),
+             io::TablePrinter::num(r.result.wall_seconds, 3),
+             io::TablePrinter::num(r.result.modeled_device_seconds, 3), fp});
+    }
+    return table.str();
+}
+
+}  // namespace pedsim::scenario

@@ -1,0 +1,82 @@
+// Batch scenario runner: executes scenario x model x engine combinations
+// with deterministic per-run seeds, collects RunResult counters plus an
+// agent-position fingerprint per run (the cross-engine bit-parity witness),
+// and renders an aggregated metrics table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pedsim::scenario {
+
+enum class EngineKind {
+    kCpu,      ///< the paper's sequential reference
+    kGpuSimt,  ///< the tiled SIMT engine on the device simulator
+};
+
+const char* engine_name(EngineKind e);
+
+struct RunnerOptions {
+    std::vector<EngineKind> engines{EngineKind::kCpu, EngineKind::kGpuSimt};
+    /// Models to force per scenario; empty = each scenario's own model.
+    std::vector<core::Model> models;
+    /// Step budget override; 0 = each scenario's default_steps.
+    int steps_override = 0;
+    /// Independent repetitions per combination (seeds derived per repeat;
+    /// repeat 0 keeps the scenario's own seed).
+    int repeats = 1;
+};
+
+struct RunRecord {
+    std::string scenario;
+    EngineKind engine = EngineKind::kCpu;
+    core::Model model = core::Model::kLem;
+    std::uint64_t seed = 0;
+    int steps = 0;
+    core::RunResult result;
+    /// Position fingerprint of the final state; equal across engines for
+    /// the same (scenario, model, seed, steps).
+    std::uint64_t fingerprint = 0;
+};
+
+/// FNV-1a over every agent's (index, row, col, active, crossed) — a
+/// bit-exact witness of the final simulation state.
+std::uint64_t position_fingerprint(const core::Simulator& sim);
+
+/// Seed of repetition `rep` derived from a scenario's base seed; rep 0 is
+/// the base seed itself so single runs reproduce the scenario exactly.
+std::uint64_t repeat_seed(std::uint64_t base, int rep);
+
+/// Engine factory shared by the runner, benches and tests.
+std::unique_ptr<core::Simulator> make_engine(EngineKind e,
+                                             const core::SimConfig& cfg);
+
+class ScenarioRunner {
+  public:
+    explicit ScenarioRunner(RunnerOptions opts = {});
+
+    /// One run of one combination.
+    [[nodiscard]] RunRecord run_one(const Scenario& s, EngineKind engine,
+                                    core::Model model, std::uint64_t seed,
+                                    int steps) const;
+
+    /// The full batch over the given scenarios.
+    [[nodiscard]] std::vector<RunRecord> run(
+        const std::vector<Scenario>& scenarios) const;
+
+    /// The full batch over every registry built-in.
+    [[nodiscard]] std::vector<RunRecord> run_registry() const;
+
+    /// Aggregated metrics table (one row per run).
+    static std::string summary_table(const std::vector<RunRecord>& records);
+
+  private:
+    RunnerOptions opts_;
+};
+
+}  // namespace pedsim::scenario

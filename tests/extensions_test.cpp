@@ -119,7 +119,7 @@ TEST(Panic, FleeRuleRanksAwayFromEpicentre) {
     panic.col = 10;  // directly north of the agent
     double values[8];
     std::int8_t cells[8];
-    auto empty = [&](int r, int c) { return env.empty_or_wall(r, c); };
+    auto empty = [&](int r, int c) { return env.walkable(r, c); };
     const int n = build_candidates_flee_t(empty, panic, grid::Group::kTop,
                                           10, 10, values, cells);
     ASSERT_EQ(n, 8);
@@ -245,7 +245,7 @@ TEST(ScanRange, RayCongestionCountsOccupiedCells) {
     grid::Environment env(grid::GridConfig{32, 32});
     env.place(12, 10, grid::Group::kBottom, 1);
     env.place(13, 10, grid::Group::kBottom, 2);
-    auto empty = [&](int r, int c) { return env.empty_or_wall(r, c); };
+    auto empty = [&](int r, int c) { return env.walkable(r, c); };
     // Ray from candidate (11,10) heading south: cells (12,10),(13,10),(14,10).
     const double c4 = ray_congestion(empty, 11, 10, 1, 0, 4,
                                      grid::GridConfig{32, 32});
@@ -258,7 +258,7 @@ TEST(ScanRange, RayCongestionCountsOccupiedCells) {
 
 TEST(ScanRange, OffGridCountsAsFree) {
     grid::Environment env(grid::GridConfig{32, 32});
-    auto empty = [&](int r, int c) { return env.empty_or_wall(r, c); };
+    auto empty = [&](int r, int c) { return env.walkable(r, c); };
     // Ray from (30,10) south leaves the grid: no congestion penalty.
     EXPECT_DOUBLE_EQ(ray_congestion(empty, 30, 10, 1, 0, 5,
                                     grid::GridConfig{32, 32}),
@@ -274,7 +274,7 @@ TEST(ScanRange, LemLookAheadDemotesCongestedForwardPath) {
     env.place(12, 10, grid::Group::kBottom, 3);
     env.place(12, 11, grid::Group::kBottom, 4);
 
-    auto empty = [&](int r, int c) { return env.empty_or_wall(r, c); };
+    auto empty = [&](int r, int c) { return env.walkable(r, c); };
     double values[8];
     std::int8_t cells[8];
 
@@ -298,7 +298,7 @@ TEST(ScanRange, RangeOneEqualsPaperBuilder) {
     env.place(10, 10, grid::Group::kTop, 1);
     env.place(11, 11, grid::Group::kBottom, 2);
 
-    auto empty = [&](int r, int c) { return env.empty_or_wall(r, c); };
+    auto empty = [&](int r, int c) { return env.walkable(r, c); };
     double v1[8], v2[8];
     std::int8_t c1[8], c2[8];
     ScanConfig narrow;  // range 1

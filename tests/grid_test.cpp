@@ -137,13 +137,37 @@ TEST(Environment, MoveValidation) {
     EXPECT_THROW(env.move(1, 1, -1, 0), std::out_of_range); // off grid
 }
 
-TEST(Environment, EmptyOrWallTreatsOffGridAsWall) {
+TEST(Environment, WalkableTreatsOffGridAsWall) {
     Environment env(GridConfig{32, 32});
-    EXPECT_FALSE(env.empty_or_wall(-1, 0));
-    EXPECT_FALSE(env.empty_or_wall(0, -1));
-    EXPECT_FALSE(env.empty_or_wall(32, 0));
-    EXPECT_FALSE(env.empty_or_wall(0, 32));
-    EXPECT_TRUE(env.empty_or_wall(0, 0));
+    EXPECT_FALSE(env.walkable(-1, 0));
+    EXPECT_FALSE(env.walkable(0, -1));
+    EXPECT_FALSE(env.walkable(32, 0));
+    EXPECT_FALSE(env.walkable(0, 32));
+    EXPECT_TRUE(env.walkable(0, 0));
+}
+
+TEST(Environment, StaticWallsBlockWithoutCountingAsPopulation) {
+    Environment env(GridConfig{32, 32});
+    env.set_wall(5, 5);
+    EXPECT_TRUE(env.is_wall(5, 5));
+    EXPECT_FALSE(env.empty(5, 5));
+    EXPECT_FALSE(env.walkable(5, 5));
+    EXPECT_EQ(env.index_at(5, 5), 0);
+    EXPECT_EQ(env.population(), 0u);
+    EXPECT_EQ(env.wall_count(), 1u);
+    // The raw occupancy carries the SIMT halo sentinel, so the tile
+    // loaders treat in-grid walls exactly like off-grid cells.
+    EXPECT_EQ(env.occupancy_raw()[env.flat(5, 5)], kWallOcc);
+}
+
+TEST(Environment, WallValidation) {
+    Environment env(GridConfig{32, 32});
+    EXPECT_THROW(env.set_wall(-1, 0), std::out_of_range);
+    env.place(3, 3, Group::kTop, 1);
+    EXPECT_THROW(env.set_wall(3, 3), std::logic_error);
+    env.set_wall(4, 4);
+    EXPECT_THROW(env.place(4, 4, Group::kTop, 2), std::logic_error);
+    EXPECT_THROW(env.set_wall(4, 4), std::logic_error);
 }
 
 // --- DistanceField ---------------------------------------------------------
@@ -195,6 +219,81 @@ TEST(DistanceField, CrossedPredicate) {
     EXPECT_TRUE(df.crossed(Group::kBottom, 0, 3));
     EXPECT_TRUE(df.crossed(Group::kBottom, 2, 3));
     EXPECT_FALSE(df.crossed(Group::kBottom, 3, 3));
+}
+
+TEST(DistanceField, GeodesicOnEmptyGridMatchesAnalyticVerticals) {
+    // With no walls and the default edge-row goals, the geodesic distance
+    // of every cell equals the analytic vertical distance, and the
+    // position-aware crossing test agrees with the row-based one — the
+    // obstacle generalization is a strict superset of the paper's table.
+    const GridConfig cfg{48, 48};
+    const DistanceField analytic(cfg);
+    const DistanceField geodesic(cfg, {}, {});
+    ASSERT_FALSE(analytic.geodesic());
+    ASSERT_TRUE(geodesic.geodesic());
+    // The analytic accessors stay valid in geodesic mode (the row table is
+    // still built), so legacy callers cannot read out of bounds.
+    EXPECT_DOUBLE_EQ(geodesic.distance(Group::kTop, 0, 0), 47.0);
+    for (const auto g : {Group::kTop, Group::kBottom}) {
+        for (int r = 0; r < cfg.rows; ++r) {
+            for (int c = 0; c < cfg.cols; ++c) {
+                EXPECT_DOUBLE_EQ(geodesic.geo(g, r, c),
+                                 analytic.distance(g, r, 0));
+                for (const int margin : {1, 3, 8}) {
+                    EXPECT_EQ(geodesic.crossed_at(g, r, c, margin),
+                              analytic.crossed_at(g, r, c, margin));
+                }
+            }
+        }
+    }
+}
+
+TEST(DistanceField, GeodesicRejectsOffGridWallCells) {
+    const GridConfig cfg{32, 32};
+    EXPECT_THROW(
+        DistanceField(cfg, {static_cast<std::uint32_t>(cfg.cell_count())},
+                      {}),
+        std::invalid_argument);
+}
+
+TEST(DistanceField, GeodesicRoutesAroundWalls) {
+    // A wall across the grid with a doorway at the west end: cells east of
+    // the door must pay the detour, not the straight-line distance.
+    const GridConfig cfg{32, 32};
+    std::vector<std::uint32_t> walls;
+    for (int c = 4; c < 32; ++c) {
+        walls.push_back(static_cast<std::uint32_t>(16 * 32 + c));
+    }
+    const DistanceField df(cfg, walls, {});
+    // Straight below the wall the distance is unchanged.
+    EXPECT_DOUBLE_EQ(df.geo(Group::kTop, 20, 10), 11.0);
+    // Just above the wall, far from the door: the geodesic detours west.
+    const double blocked = df.geo(Group::kTop, 15, 31);
+    EXPECT_GT(blocked, 16.0 + 20.0);  // way beyond the analytic 16
+    // Wall rows themselves are never relaxed.
+    EXPECT_EQ(df.geo(Group::kTop, 16, 10), DistanceField::kUnreachable);
+}
+
+TEST(DistanceField, GeodesicCustomGoalsAndUnreachablePockets) {
+    const GridConfig cfg{32, 32};
+    // Seal rows 0-1 off from the rest with a full wall row at row 2.
+    std::vector<std::uint32_t> walls;
+    for (int c = 0; c < 32; ++c) {
+        walls.push_back(static_cast<std::uint32_t>(2 * 32 + c));
+    }
+    std::array<std::vector<std::uint32_t>, 2> goals;
+    goals[0] = {static_cast<std::uint32_t>(10 * 32 + 10)};  // top: one cell
+    const DistanceField df(cfg, walls, goals);
+    EXPECT_DOUBLE_EQ(df.geo(Group::kTop, 10, 10), 0.0);
+    EXPECT_DOUBLE_EQ(df.geo(Group::kTop, 10, 14), 4.0);
+    // Diagonal steps cost sqrt(2).
+    EXPECT_NEAR(df.geo(Group::kTop, 13, 13), 3.0 * std::sqrt(2.0), 1e-12);
+    // The walled-off strip cannot reach the goal.
+    EXPECT_EQ(df.geo(Group::kTop, 0, 0), DistanceField::kUnreachable);
+    // Bottom group defaults to its edge row 0, which sits inside the
+    // sealed strip: reachable from row 1, cut off from everything below.
+    EXPECT_DOUBLE_EQ(df.geo(Group::kBottom, 1, 5), 1.0);
+    EXPECT_EQ(df.geo(Group::kBottom, 20, 5), DistanceField::kUnreachable);
 }
 
 // --- Placement --------------------------------------------------------------
@@ -297,6 +396,71 @@ TEST(Placement, ThrowsWhenBandsOverlap) {
     pc.agents_per_side = 200;
     pc.band_rows = 17;  // 2 x 17 > 32 rows
     EXPECT_THROW(place_bidirectional(env, pc), std::invalid_argument);
+}
+
+TEST(Placement, BandPlacementSkipsWallCells) {
+    Environment env(GridConfig{64, 64});
+    for (int c = 0; c < 64; ++c) env.set_wall(2, c);  // wall row in the band
+    PlacementConfig pc;
+    pc.agents_per_side = 200;
+    pc.band_rows = 8;
+    const auto agents = place_bidirectional(env, pc);
+    EXPECT_EQ(env.population(), 400u);
+    EXPECT_EQ(env.wall_count(), 64u);
+    for (const auto& a : agents) EXPECT_NE(a.row, 2);
+}
+
+TEST(Placement, BandPlacementThrowsWhenWallsEatTheBand) {
+    Environment env(GridConfig{32, 32});
+    for (int c = 0; c < 32; ++c) env.set_wall(0, c);
+    PlacementConfig pc;
+    pc.agents_per_side = 33;  // 64 band cells minus 32 walls = 32 < 33
+    pc.band_rows = 2;
+    EXPECT_THROW(place_bidirectional(env, pc), std::invalid_argument);
+}
+
+TEST(Placement, RegionSpawnsPlaceInsideRectsDeterministically) {
+    const auto run = [](std::uint64_t seed) {
+        Environment env(GridConfig{48, 48});
+        env.set_wall(10, 10);
+        const std::vector<RegionSpawn> spawns = {
+            {Group::kTop, 8, 8, 15, 15, 30},
+            {Group::kBottom, 30, 4, 40, 44, 100},
+        };
+        return place_regions(env, spawns, seed);
+    };
+    const auto a = run(9);
+    const auto b = run(9);
+    const auto c = run(10);
+    ASSERT_EQ(a.size(), 130u);
+    bool ab_same = true, ac_same = true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, static_cast<std::int32_t>(i + 1));
+        ab_same &= (a[i].row == b[i].row && a[i].col == b[i].col);
+        ac_same &= (a[i].row == c[i].row && a[i].col == c[i].col);
+        if (a[i].group == Group::kTop) {
+            EXPECT_TRUE(a[i].row >= 8 && a[i].row <= 15);
+            EXPECT_TRUE(a[i].col >= 8 && a[i].col <= 15);
+            EXPECT_FALSE(a[i].row == 10 && a[i].col == 10);  // the wall
+        } else {
+            EXPECT_TRUE(a[i].row >= 30 && a[i].row <= 40);
+        }
+    }
+    EXPECT_TRUE(ab_same);
+    EXPECT_FALSE(ac_same);
+}
+
+TEST(Placement, RegionSpawnValidation) {
+    Environment env(GridConfig{32, 32});
+    EXPECT_THROW(
+        place_regions(env, {{Group::kTop, 0, 0, 1, 1, 5}}, 1),
+        std::invalid_argument);  // 4 cells < 5 agents
+    EXPECT_THROW(
+        place_regions(env, {{Group::kTop, 4, 4, 2, 2, 1}}, 1),
+        std::invalid_argument);  // inverted rect
+    EXPECT_THROW(
+        place_regions(env, {{Group::kNone, 0, 0, 3, 3, 1}}, 1),
+        std::invalid_argument);  // no group
 }
 
 TEST(Placement, NoDuplicateCells) {
