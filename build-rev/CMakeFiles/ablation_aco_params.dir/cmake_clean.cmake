@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aco_params.dir/bench/ablation_aco_params.cpp.o"
+  "CMakeFiles/ablation_aco_params.dir/bench/ablation_aco_params.cpp.o.d"
+  "ablation_aco_params"
+  "ablation_aco_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aco_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

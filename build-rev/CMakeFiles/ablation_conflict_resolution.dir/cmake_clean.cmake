@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conflict_resolution.dir/bench/ablation_conflict_resolution.cpp.o"
+  "CMakeFiles/ablation_conflict_resolution.dir/bench/ablation_conflict_resolution.cpp.o.d"
+  "ablation_conflict_resolution"
+  "ablation_conflict_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conflict_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_device.dir/bench/ablation_device.cpp.o"
+  "CMakeFiles/ablation_device.dir/bench/ablation_device.cpp.o.d"
+  "ablation_device"
+  "ablation_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tiling.dir/bench/ablation_tiling.cpp.o"
+  "CMakeFiles/ablation_tiling.dir/bench/ablation_tiling.cpp.o.d"
+  "ablation_tiling"
+  "ablation_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

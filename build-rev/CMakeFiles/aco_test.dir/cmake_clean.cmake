@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aco_test.dir/tests/aco_test.cpp.o"
+  "CMakeFiles/aco_test.dir/tests/aco_test.cpp.o.d"
+  "aco_test"
+  "aco_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

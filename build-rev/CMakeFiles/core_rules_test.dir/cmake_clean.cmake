@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rules_test.dir/tests/core_rules_test.cpp.o"
+  "CMakeFiles/core_rules_test.dir/tests/core_rules_test.cpp.o.d"
+  "core_rules_test"
+  "core_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corridor_visualizer.dir/examples/corridor_visualizer.cpp.o"
+  "CMakeFiles/corridor_visualizer.dir/examples/corridor_visualizer.cpp.o.d"
+  "corridor_visualizer"
+  "corridor_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corridor_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_exec_time_lem_vs_aco.dir/bench/fig5a_exec_time_lem_vs_aco.cpp.o"
+  "CMakeFiles/fig5a_exec_time_lem_vs_aco.dir/bench/fig5a_exec_time_lem_vs_aco.cpp.o.d"
+  "fig5a_exec_time_lem_vs_aco"
+  "fig5a_exec_time_lem_vs_aco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_exec_time_lem_vs_aco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

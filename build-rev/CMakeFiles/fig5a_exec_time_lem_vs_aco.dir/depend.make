@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_exec_time_lem_vs_aco.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_exec_time_cpu_vs_gpu.dir/bench/fig5b_exec_time_cpu_vs_gpu.cpp.o"
+  "CMakeFiles/fig5b_exec_time_cpu_vs_gpu.dir/bench/fig5b_exec_time_cpu_vs_gpu.cpp.o.d"
+  "fig5b_exec_time_cpu_vs_gpu"
+  "fig5b_exec_time_cpu_vs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_exec_time_cpu_vs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

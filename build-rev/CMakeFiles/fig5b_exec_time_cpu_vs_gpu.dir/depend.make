@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5b_exec_time_cpu_vs_gpu.
+# This may be replaced when dependencies are built.

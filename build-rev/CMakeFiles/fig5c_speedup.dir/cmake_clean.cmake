@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_speedup.dir/bench/fig5c_speedup.cpp.o"
+  "CMakeFiles/fig5c_speedup.dir/bench/fig5c_speedup.cpp.o.d"
+  "fig5c_speedup"
+  "fig5c_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

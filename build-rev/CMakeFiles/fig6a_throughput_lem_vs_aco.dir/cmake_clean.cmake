@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_throughput_lem_vs_aco.dir/bench/fig6a_throughput_lem_vs_aco.cpp.o"
+  "CMakeFiles/fig6a_throughput_lem_vs_aco.dir/bench/fig6a_throughput_lem_vs_aco.cpp.o.d"
+  "fig6a_throughput_lem_vs_aco"
+  "fig6a_throughput_lem_vs_aco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_throughput_lem_vs_aco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_throughput_lem_vs_aco.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_throughput_cpu_vs_gpu.dir/bench/fig6b_throughput_cpu_vs_gpu.cpp.o"
+  "CMakeFiles/fig6b_throughput_cpu_vs_gpu.dir/bench/fig6b_throughput_cpu_vs_gpu.cpp.o.d"
+  "fig6b_throughput_cpu_vs_gpu"
+  "fig6b_throughput_cpu_vs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_throughput_cpu_vs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

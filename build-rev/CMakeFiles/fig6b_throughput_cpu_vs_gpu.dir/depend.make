@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_throughput_cpu_vs_gpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_gathering_sweep.dir/examples/mass_gathering_sweep.cpp.o"
+  "CMakeFiles/mass_gathering_sweep.dir/examples/mass_gathering_sweep.cpp.o.d"
+  "mass_gathering_sweep"
+  "mass_gathering_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_gathering_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

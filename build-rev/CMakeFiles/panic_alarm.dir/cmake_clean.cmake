@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_alarm.dir/examples/panic_alarm.cpp.o"
+  "CMakeFiles/panic_alarm.dir/examples/panic_alarm.cpp.o.d"
+  "panic_alarm"
+  "panic_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aco/ant_system.cpp" "CMakeFiles/pedsim.dir/src/aco/ant_system.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/aco/ant_system.cpp.o.d"
+  "/root/repo/src/aco/max_min_ant_system.cpp" "CMakeFiles/pedsim.dir/src/aco/max_min_ant_system.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/aco/max_min_ant_system.cpp.o.d"
+  "/root/repo/src/aco/tsp.cpp" "CMakeFiles/pedsim.dir/src/aco/tsp.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/aco/tsp.cpp.o.d"
+  "/root/repo/src/aco/tsplib.cpp" "CMakeFiles/pedsim.dir/src/aco/tsplib.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/aco/tsplib.cpp.o.d"
+  "/root/repo/src/core/cpu_simulator.cpp" "CMakeFiles/pedsim.dir/src/core/cpu_simulator.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/core/cpu_simulator.cpp.o.d"
+  "/root/repo/src/core/gpu_simulator.cpp" "CMakeFiles/pedsim.dir/src/core/gpu_simulator.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/core/gpu_simulator.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/pedsim.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/property_table.cpp" "CMakeFiles/pedsim.dir/src/core/property_table.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/core/property_table.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "CMakeFiles/pedsim.dir/src/core/rules.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/core/rules.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "CMakeFiles/pedsim.dir/src/core/simulator.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/core/simulator.cpp.o.d"
+  "/root/repo/src/grid/distance_field.cpp" "CMakeFiles/pedsim.dir/src/grid/distance_field.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/grid/distance_field.cpp.o.d"
+  "/root/repo/src/grid/environment.cpp" "CMakeFiles/pedsim.dir/src/grid/environment.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/grid/environment.cpp.o.d"
+  "/root/repo/src/grid/placement.cpp" "CMakeFiles/pedsim.dir/src/grid/placement.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/grid/placement.cpp.o.d"
+  "/root/repo/src/io/args.cpp" "CMakeFiles/pedsim.dir/src/io/args.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/io/args.cpp.o.d"
+  "/root/repo/src/io/ascii_render.cpp" "CMakeFiles/pedsim.dir/src/io/ascii_render.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/io/ascii_render.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "CMakeFiles/pedsim.dir/src/io/csv.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/io/csv.cpp.o.d"
+  "/root/repo/src/io/scenario_file.cpp" "CMakeFiles/pedsim.dir/src/io/scenario_file.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/io/scenario_file.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "CMakeFiles/pedsim.dir/src/io/table.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/io/table.cpp.o.d"
+  "/root/repo/src/rng/distributions.cpp" "CMakeFiles/pedsim.dir/src/rng/distributions.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/rng/distributions.cpp.o.d"
+  "/root/repo/src/rng/philox.cpp" "CMakeFiles/pedsim.dir/src/rng/philox.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/rng/philox.cpp.o.d"
+  "/root/repo/src/rng/stream.cpp" "CMakeFiles/pedsim.dir/src/rng/stream.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/rng/stream.cpp.o.d"
+  "/root/repo/src/scenario/registry.cpp" "CMakeFiles/pedsim.dir/src/scenario/registry.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/scenario/registry.cpp.o.d"
+  "/root/repo/src/scenario/runner.cpp" "CMakeFiles/pedsim.dir/src/scenario/runner.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/scenario/runner.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "CMakeFiles/pedsim.dir/src/scenario/scenario.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/scenario/scenario.cpp.o.d"
+  "/root/repo/src/simt/device_spec.cpp" "CMakeFiles/pedsim.dir/src/simt/device_spec.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/simt/device_spec.cpp.o.d"
+  "/root/repo/src/simt/occupancy.cpp" "CMakeFiles/pedsim.dir/src/simt/occupancy.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/simt/occupancy.cpp.o.d"
+  "/root/repo/src/simt/stats.cpp" "CMakeFiles/pedsim.dir/src/simt/stats.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/simt/stats.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "CMakeFiles/pedsim.dir/src/stats/descriptive.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/glm.cpp" "CMakeFiles/pedsim.dir/src/stats/glm.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/stats/glm.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "CMakeFiles/pedsim.dir/src/stats/hypothesis.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/stats/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "CMakeFiles/pedsim.dir/src/stats/linalg.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/stats/linalg.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "CMakeFiles/pedsim.dir/src/stats/special_functions.cpp.o" "gcc" "CMakeFiles/pedsim.dir/src/stats/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_gallery.dir/examples/scenario_gallery.cpp.o"
+  "CMakeFiles/scenario_gallery.dir/examples/scenario_gallery.cpp.o.d"
+  "scenario_gallery"
+  "scenario_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

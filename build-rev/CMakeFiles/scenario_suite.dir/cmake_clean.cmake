@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_suite.dir/bench/scenario_suite.cpp.o"
+  "CMakeFiles/scenario_suite.dir/bench/scenario_suite.cpp.o.d"
+  "scenario_suite"
+  "scenario_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_test.dir/tests/simt_test.cpp.o"
+  "CMakeFiles/simt_test.dir/tests/simt_test.cpp.o.d"
+  "simt_test"
+  "simt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

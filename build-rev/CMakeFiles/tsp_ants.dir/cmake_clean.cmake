@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_ants.dir/examples/tsp_ants.cpp.o"
+  "CMakeFiles/tsp_ants.dir/examples/tsp_ants.cpp.o.d"
+  "tsp_ants"
+  "tsp_ants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_ants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_convergence.dir/bench/tsp_convergence.cpp.o"
+  "CMakeFiles/tsp_convergence.dir/bench/tsp_convergence.cpp.o.d"
+  "tsp_convergence"
+  "tsp_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

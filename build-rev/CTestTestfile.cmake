@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-rev
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(aco_test "/root/repo/build-rev/aco_test")
+set_tests_properties(aco_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_rules_test "/root/repo/build-rev/core_rules_test")
+set_tests_properties(core_rules_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build-rev/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(grid_test "/root/repo/build-rev/grid_test")
+set_tests_properties(grid_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build-rev/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build-rev/io_test")
+set_tests_properties(io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(rng_test "/root/repo/build-rev/rng_test")
+set_tests_properties(rng_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(scenario_test "/root/repo/build-rev/scenario_test")
+set_tests_properties(scenario_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(simt_test "/root/repo/build-rev/simt_test")
+set_tests_properties(simt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(simulator_test "/root/repo/build-rev/simulator_test")
+set_tests_properties(simulator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build-rev/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
