@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     base.grid.rows = base.grid.cols = grid;
     base.model = core::Model::kAco;
     base.agents_per_side = bench::scaled_agents_per_side(density, grid);
+    const int threads = bench::apply_threads(args, base);
 
     bench::print_protocol(
         "Ablation — ACO parameters at the Fig. 6a medium density",
@@ -45,13 +46,13 @@ int main(int argc, char** argv) {
             " repeats (sequential engine; bit-identical to gpu-simt)");
 
     io::CsvWriter csv(bench::csv_path(args, "ablation_aco_params.csv"));
-    csv.header({"parameter", "value", "throughput"});
+    csv.header({"parameter", "value", "threads", "throughput"});
     io::TablePrinter table({"parameter", "value", "throughput"});
 
     const auto report = [&](const std::string& name, const std::string& val,
                             const core::SimConfig& cfg) {
         const double tp = run_throughput(cfg, steps, repeats);
-        csv.row(name, val, tp);
+        csv.row(name, val, threads, tp);
         table.add_row({name, val, io::TablePrinter::num(tp, 0)});
     };
 

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
         "480x480 grid, ACO model; modeled movement-kernel seconds per step");
 
     io::CsvWriter csv(bench::csv_path(args, "ablation_conflict.csv"));
-    csv.header({"total_agents", "gather_ms_per_step", "atomic_ms_per_step",
-                "atomic_ops_per_step", "slowdown"});
+    csv.header({"total_agents", "threads", "gather_ms_per_step",
+                "atomic_ms_per_step", "atomic_ops_per_step", "slowdown"});
     io::TablePrinter table({"total_agents", "gather_ms", "atomic_ms",
                             "atomics/step", "slowdown_x"});
 
@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
         cfg.model = core::Model::kAco;
         cfg.agents_per_side = bench::paper_agents_per_side(d);
         cfg.seed = 11 + static_cast<std::uint64_t>(d);
+        const int threads = bench::apply_threads(args, cfg);
 
         double movement_ms[2] = {0, 0};
         std::uint64_t atomics = 0;
@@ -54,8 +55,8 @@ int main(int argc, char** argv) {
             if (atomic) atomics = at / static_cast<std::uint64_t>(measure);
         }
         const double slowdown = movement_ms[1] / movement_ms[0];
-        csv.row(2 * cfg.agents_per_side, movement_ms[0], movement_ms[1],
-                atomics, slowdown);
+        csv.row(2 * cfg.agents_per_side, threads, movement_ms[0],
+                movement_ms[1], atomics, slowdown);
         table.add_row({std::to_string(2 * cfg.agents_per_side),
                        io::TablePrinter::num(movement_ms[0], 3),
                        io::TablePrinter::num(movement_ms[1], 3),

@@ -23,13 +23,14 @@ int main(int argc, char** argv) {
         "different DeviceSpecs");
 
     io::CsvWriter csv(bench::csv_path(args, "ablation_device.csv"));
-    csv.header({"device", "ms_per_step", "speedup_vs_fermi"});
+    csv.header({"device", "threads", "ms_per_step", "speedup_vs_fermi"});
     io::TablePrinter table({"device", "ms/step", "vs_Fermi"});
 
     core::SimConfig cfg;
     cfg.model = core::Model::kAco;
     cfg.agents_per_side = bench::paper_agents_per_side(density);
     cfg.seed = 77;
+    const int threads = bench::apply_threads(args, cfg);
 
     double fermi_ms = 0.0;
     for (const auto& spec :
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
         sim.run(measure);
         const double ms = (sim.modeled_seconds() - before) * 1e3 / measure;
         if (fermi_ms == 0.0) fermi_ms = ms;
-        csv.row(spec.name, ms, fermi_ms / ms);
+        csv.row(spec.name, threads, ms, fermi_ms / ms);
         table.add_row({spec.name, io::TablePrinter::num(ms, 3),
                        io::TablePrinter::num(fermi_ms / ms, 2)});
     }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
         "kernels (initial_calc + movement)");
 
     io::CsvWriter csv(bench::csv_path(args, "ablation_tiling.csv"));
-    csv.header({"total_agents", "strategy", "divergence_rate",
+    csv.header({"total_agents", "strategy", "threads", "divergence_rate",
                 "tiled_kernel_ms_per_step"});
     io::TablePrinter table(
         {"total_agents", "strategy", "divergence", "tiled_ms/step"});
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
         cfg.model = core::Model::kAco;
         cfg.agents_per_side = bench::paper_agents_per_side(d);
         cfg.seed = 23 + static_cast<std::uint64_t>(d);
+        const int threads = bench::apply_threads(args, cfg);
 
         for (const bool remapped : {true, false}) {
             core::GpuOptions opt;
@@ -54,8 +55,8 @@ int main(int argc, char** argv) {
                 ms += recs[i].modeled_seconds * 1e3;
             }
             const char* name = remapped ? "remapped" : "naive";
-            csv.row(2 * cfg.agents_per_side, name, tiled.divergence_rate(),
-                    ms / measure);
+            csv.row(2 * cfg.agents_per_side, name, threads,
+                    tiled.divergence_rate(), ms / measure);
             table.add_row({std::to_string(2 * cfg.agents_per_side), name,
                            io::TablePrinter::num(tiled.divergence_rate(), 4),
                            io::TablePrinter::num(ms / measure, 3)});

@@ -88,6 +88,16 @@ inline std::string csv_path(const io::ArgParser& args,
     return args.get("out", name);
 }
 
+/// Shared `--threads` plumbing: apply the flag (default: hardware
+/// concurrency) to a config's host exec policy and return the count for
+/// the CSV `threads` column, so speedup trajectories stay comparable
+/// across runs. Results are bit-identical at any thread count.
+inline int apply_threads(const io::ArgParser& args, core::SimConfig& cfg) {
+    const int threads = args.get_threads();
+    cfg.exec.threads = threads;
+    return threads;
+}
+
 inline void print_protocol(const char* figure, const std::string& detail) {
     std::printf("== %s ==\n%s\n\n", figure, detail.c_str());
 }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
             " warmup), GTX 560 Ti timing model");
 
     io::CsvWriter csv(bench::csv_path(args, "fig5a.csv"));
-    csv.header({"total_agents", "lem_seconds", "aco_seconds",
+    csv.header({"total_agents", "threads", "lem_seconds", "aco_seconds",
                 "aco_overhead_pct"});
     io::TablePrinter table(
         {"total_agents", "LEM_s", "ACO_s", "ACO_overhead_%"});
@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
         core::SimConfig cfg;
         cfg.agents_per_side = bench::paper_agents_per_side(d);
         cfg.seed = 42 + static_cast<std::uint64_t>(d);
+        const int threads = bench::apply_threads(args, cfg);
 
         double seconds[2] = {0, 0};
         for (const auto model : {core::Model::kLem, core::Model::kAco}) {
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
                 t.modeled_seconds_per_step * static_cast<double>(full_steps);
         }
         const double overhead = 100.0 * (seconds[1] / seconds[0] - 1.0);
-        csv.row(2 * cfg.agents_per_side, seconds[0], seconds[1], overhead);
+        csv.row(2 * cfg.agents_per_side, threads, seconds[0], seconds[1],
+                overhead);
         table.add_row({std::to_string(2 * cfg.agents_per_side),
                        io::TablePrinter::num(seconds[0], 2),
                        io::TablePrinter::num(seconds[1], 2),

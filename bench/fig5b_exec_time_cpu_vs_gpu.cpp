@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
             "shown for reference");
 
     io::CsvWriter csv(bench::csv_path(args, "fig5b.csv"));
-    csv.header({"total_agents", "cpu_seconds", "gpu_seconds",
+    csv.header({"total_agents", "threads", "cpu_seconds", "gpu_seconds",
                 "host_wall_seconds"});
     io::TablePrinter table({"total_agents", "CPU_s(i7-930)",
                             "GPU_s(GTX560Ti)", "host_wall_s"});
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
         cfg.model = core::Model::kAco;
         cfg.agents_per_side = bench::paper_agents_per_side(d);
         cfg.seed = 42 + static_cast<std::uint64_t>(d);
+        const int threads = bench::apply_threads(args, cfg);
 
         core::GpuSimulator gpu(cfg);
         const auto w = bench::gpu_window(gpu, warmup, measure);
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
         const double host_s =
             th.wall_seconds_per_step * static_cast<double>(full_steps);
 
-        csv.row(2 * cfg.agents_per_side, cpu_s, gpu_s, host_s);
+        csv.row(2 * cfg.agents_per_side, threads, cpu_s, gpu_s, host_s);
         table.add_row({std::to_string(2 * cfg.agents_per_side),
                        io::TablePrinter::num(cpu_s, 2),
                        io::TablePrinter::num(gpu_s, 2),

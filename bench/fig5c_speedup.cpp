@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
         "seconds/step, 480x480 grid (same operation counts drive both)");
 
     io::CsvWriter csv(bench::csv_path(args, "fig5c.csv"));
-    csv.header({"total_agents", "speedup"});
+    csv.header({"total_agents", "threads", "speedup"});
     io::TablePrinter table({"total_agents", "speedup_x"});
 
     double first = 0.0, last = 0.0;
@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
         cfg.model = core::Model::kAco;
         cfg.agents_per_side = bench::paper_agents_per_side(d);
         cfg.seed = 42 + static_cast<std::uint64_t>(d);
+        const int threads = bench::apply_threads(args, cfg);
 
         core::GpuSimulator gpu(cfg);
         const auto w = bench::gpu_window(gpu, warmup, measure);
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
             w.cpu_model_seconds_per_step / w.gpu_seconds_per_step;
         if (first == 0.0) first = speedup;
         last = speedup;
-        csv.row(2 * cfg.agents_per_side, speedup);
+        csv.row(2 * cfg.agents_per_side, threads, speedup);
         table.add_row({std::to_string(2 * cfg.agents_per_side),
                        io::TablePrinter::num(speedup, 1)});
     }

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
             "; engines are bit-identical)");
 
     io::CsvWriter csv(bench::csv_path(args, "fig6a.csv"));
-    csv.header({"scenario", "total_agents", "lem_throughput",
+    csv.header({"scenario", "total_agents", "threads", "lem_throughput",
                 "aco_throughput"});
     io::TablePrinter table(
         {"scenario", "total_agents", "LEM", "ACO", "ACO/LEM"});
@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
         cfg.agents_per_side =
             paper ? bench::paper_agents_per_side(d)
                   : bench::scaled_agents_per_side(d, grid);
+        const int threads = bench::apply_threads(args, cfg);
 
         double mean_tp[2] = {0, 0};
         for (const auto model : {core::Model::kLem, core::Model::kAco}) {
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
         }
         lem_sum += mean_tp[0];
         aco_sum += mean_tp[1];
-        csv.row(d, 2 * cfg.agents_per_side, mean_tp[0], mean_tp[1]);
+        csv.row(d, 2 * cfg.agents_per_side, threads, mean_tp[0], mean_tp[1]);
         table.add_row(
             {std::to_string(d), std::to_string(2 * cfg.agents_per_side),
              io::TablePrinter::num(mean_tp[0], 0),

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
             " repeats, densities 1.." + std::to_string(max_density));
 
     io::CsvWriter csv(bench::csv_path(args, "fig6b.csv"));
-    csv.header({"scenario", "total_agents", "cpu_throughput",
+    csv.header({"scenario", "total_agents", "threads", "cpu_throughput",
                 "gpu_throughput_same_seed", "gpu_throughput_offset_seed"});
     io::TablePrinter table({"scenario", "total_agents", "CPU", "GPU(same)",
                             "GPU(offset)"});
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
                                   ? bench::paper_agents_per_side(d)
                                   : bench::scaled_agents_per_side(d, grid);
         const auto total = 2 * cfg.agents_per_side;
+        const int threads = bench::apply_threads(args, cfg);
 
         double cpu_tp = 0.0, gpu_same_tp = 0.0, gpu_off_tp = 0.0;
         for (int rep = 0; rep < repeats; ++rep) {
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
         cpu_tp /= repeats;
         gpu_same_tp /= repeats;
         gpu_off_tp /= repeats;
-        csv.row(d, total, cpu_tp, gpu_same_tp, gpu_off_tp);
+        csv.row(d, total, threads, cpu_tp, gpu_same_tp, gpu_off_tp);
         table.add_row({std::to_string(d), std::to_string(total),
                        io::TablePrinter::num(cpu_tp, 0),
                        io::TablePrinter::num(gpu_same_tp, 0),

@@ -7,8 +7,10 @@
 //   ./scenario_suite --engines=cpu          # CPU only
 //   ./scenario_suite --models=lem,aco       # force both models everywhere
 //   ./scenario_suite --steps=100 --repeats=3
+//   ./scenario_suite --threads=4             # batch runs as pool jobs
 //   ./scenario_suite --file=my.scenario     # run a scenario file instead
 //   ./scenario_suite --csv=out.csv          # also dump CSV
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -51,6 +53,12 @@ int main(int argc, char** argv) {
             "  --models=LIST    lem,aco (default: each scenario's own)\n"
             "  --steps=N        override every scenario's step budget\n"
             "  --repeats=N      independent repetitions (default 1)\n"
+            "  --threads=N      batch-level pool jobs (default: hardware\n"
+            "                   concurrency; results identical at any N)\n"
+            "  --engine-threads=N  threads inside each engine (default:\n"
+            "                   each scenario's own policy; only effective\n"
+            "                   with --threads=1 — in a parallel batch,\n"
+            "                   nested dispatches run inline)\n"
             "  --csv=PATH       also write the records as CSV");
         return 0;
     }
@@ -81,6 +89,9 @@ int main(int argc, char** argv) {
     }
     opts.steps_override = static_cast<int>(args.get_int("steps", 0));
     opts.repeats = static_cast<int>(args.get_int("repeats", 1));
+    opts.threads = args.get_threads();
+    opts.engine_threads =
+        static_cast<int>(args.get_int("engine-threads", 0));
 
     std::vector<scenario::Scenario> scenarios;
     if (args.positional().empty() && !args.has("file")) {
@@ -103,24 +114,31 @@ int main(int argc, char** argv) {
     }
 
     const scenario::ScenarioRunner runner(opts);
+    const auto t0 = std::chrono::steady_clock::now();
     const auto records = runner.run(scenarios);
+    const double batch_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     std::fputs(scenario::ScenarioRunner::summary_table(records).c_str(),
                stdout);
+    std::printf("\nbatch: %zu runs in %.3f s at %d thread(s)\n",
+                records.size(), batch_wall, opts.threads);
 
     if (args.has("csv")) {
         io::CsvWriter csv(args.get("csv"));
         csv.header({"scenario", "engine", "model", "seed", "steps",
-                    "crossed", "moves", "conflicts", "wall_s", "modeled_s",
-                    "fingerprint"});
+                    "threads", "crossed", "moves", "conflicts", "wall_s",
+                    "modeled_s", "batch_wall_s", "fingerprint"});
         for (const auto& r : records) {
             char fp[20];
             std::snprintf(fp, sizeof(fp), "%016llx",
                           static_cast<unsigned long long>(r.fingerprint));
             csv.row(r.scenario, scenario::engine_name(r.engine),
                     r.model == core::Model::kLem ? "lem" : "aco", r.seed,
-                    r.steps, r.result.crossed_total(), r.result.total_moves,
-                    r.result.total_conflicts, r.result.wall_seconds,
-                    r.result.modeled_device_seconds, fp);
+                    r.steps, opts.threads, r.result.crossed_total(),
+                    r.result.total_moves, r.result.total_conflicts,
+                    r.result.wall_seconds, r.result.modeled_device_seconds,
+                    batch_wall, fp);
         }
         std::printf("\nwrote %s\n", args.get("csv").c_str());
     }

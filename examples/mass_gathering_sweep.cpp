@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
             cfg.agents_per_side =
                 static_cast<std::size_t>(fill * cells / 2.0);
             cfg.seed = seed + static_cast<std::uint64_t>(level);
+            cfg.exec.threads = args.get_threads();
 
             const auto sim = core::make_cpu_simulator(cfg);
             core::ThroughputRecorder rec;

@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
             "  --agents=N   agents per side (default 640)\n"
             "  --steps=N    simulation steps (default 400)\n"
             "  --grid=N     square grid edge, multiple of 16 (default 96)\n"
-            "  --seed=N     RNG seed (default 42)");
+            "  --seed=N     RNG seed (default 42)\n"
+            "  --threads=N  host threads for both engines (default: hardware\n"
+            "               concurrency; results identical at any N)");
         return 0;
     }
 
@@ -31,10 +33,14 @@ int main(int argc, char** argv) {
     cfg.grid.rows = cfg.grid.cols = static_cast<int>(args.get_int("grid", 96));
     cfg.agents_per_side = static_cast<std::size_t>(args.get_int("agents", 640));
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    cfg.exec.threads = args.get_threads();
     const int steps = static_cast<int>(args.get_int("steps", 400));
 
-    std::printf("pedsim quickstart: %dx%d grid, %zu agents/side, %d steps\n\n",
-                cfg.grid.rows, cfg.grid.cols, cfg.agents_per_side, steps);
+    std::printf(
+        "pedsim quickstart: %dx%d grid, %zu agents/side, %d steps, "
+        "%d host thread(s)\n\n",
+        cfg.grid.rows, cfg.grid.cols, cfg.agents_per_side, steps,
+        cfg.exec.effective_threads());
 
     io::TablePrinter table(
         {"model", "engine", "crossed", "moves", "wall_s", "modeled_s"});

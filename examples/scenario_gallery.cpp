@@ -21,7 +21,10 @@ int main(int argc, char** argv) {
         std::puts(
             "scenario_gallery — browse the built-in scenario library\n"
             "  [name...]     render only the named scenarios\n"
-            "  --export=DIR  also write each scenario as DIR/<name>.scenario");
+            "  --export=DIR  also write each scenario as DIR/<name>.scenario\n"
+            "  --preview=N   run N steps before rendering (0 = placement "
+            "only)\n"
+            "  --threads=N   host threads for the preview runs");
         return 0;
     }
 
@@ -33,7 +36,8 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
             return 1;
         }
-        const auto s = scenario::get(name);
+        auto s = scenario::get(name);
+        s.sim.exec.threads = args.get_threads();
         std::printf("=== %s ===\n%s\n", s.name.c_str(),
                     s.description.c_str());
         std::printf(
@@ -44,8 +48,11 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(s.sim.seed), s.default_steps,
             s.sim.layout.wall_cells.size());
 
-        // Construct (but do not run) a simulator: walls + placement only.
+        // Walls + placement by default; --preview steps the crowd forward
+        // on the (exec-policy-aware) CPU engine before rendering.
         const auto sim = core::make_cpu_simulator(s.sim);
+        const int preview = static_cast<int>(args.get_int("preview", 0));
+        if (preview > 0) sim->run(preview);
         std::fputs(io::render(sim->environment()).c_str(), stdout);
         std::fputs("\n", stdout);
 

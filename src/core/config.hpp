@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_policy.hpp"
 #include "grid/environment.hpp"
 #include "grid/placement.hpp"
 
@@ -136,6 +137,11 @@ struct SimConfig {
     ScenarioLayout layout;
 
     std::uint64_t seed = 42;
+
+    /// Host execution policy for the engine's stage loops (CPU slices /
+    /// simulated kernel blocks). Results are bit-identical at any thread
+    /// count; only wall-clock changes. Default 1 = the seed's serial path.
+    exec::ExecPolicy exec;
 
     /// An agent has crossed once within this many rows of the target edge;
     /// 0 = auto (the placement band depth).

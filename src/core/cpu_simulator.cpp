@@ -1,6 +1,7 @@
 #include "core/cpu_simulator.hpp"
 
 #include "core/rules.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace pedsim::core {
 
@@ -9,10 +10,11 @@ void CpuSimulator::stage_reset() {
     props_.reset_futures();
 }
 
-void CpuSimulator::stage_initial_calc() {
+void CpuSimulator::initial_calc_rows(int begin_row, int end_row) {
     // Row-major sweep of occupied cells: compute FRONT CELL and, when the
     // front is blocked (or forward priority is disabled), the scan row.
-    for (int r = 0; r < env_.rows(); ++r) {
+    // Writes land in the cell's own agent row, so slices are disjoint.
+    for (int r = begin_row; r < end_row; ++r) {
         for (int c = 0; c < env_.cols(); ++c) {
             const std::int32_t i = env_.index_at(r, c);
             if (i <= 0) continue;
@@ -34,18 +36,38 @@ void CpuSimulator::stage_initial_calc() {
     }
 }
 
-void CpuSimulator::stage_tour_construction() {
-    for (std::size_t i = 1; i < props_.rows(); ++i) {
+void CpuSimulator::stage_initial_calc() {
+    exec::for_slices(config_.exec, 0, env_.rows(),
+                     [this](int, std::int64_t b, std::int64_t e) {
+                         initial_calc_rows(static_cast<int>(b),
+                                           static_cast<int>(e));
+                     });
+}
+
+void CpuSimulator::tour_construction_agents(std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
         if (props_.active[i] == 0) continue;
         decide_future(static_cast<std::int32_t>(i));
     }
 }
 
-void CpuSimulator::stage_movement(std::vector<Move>& out_moves) {
+void CpuSimulator::stage_tour_construction() {
+    exec::for_slices(config_.exec, 1,
+                     static_cast<std::int64_t>(props_.rows()),
+                     [this](int, std::int64_t b, std::int64_t e) {
+                         tour_construction_agents(
+                             static_cast<std::size_t>(b),
+                             static_cast<std::size_t>(e));
+                     });
+}
+
+void CpuSimulator::movement_rows(int begin_row, int end_row,
+                                 std::vector<Move>& out_moves) const {
     // Scatter-to-gather: every empty cell collects the neighbours whose
     // FUTURE cell is this cell and draws one winner on the cell's stream.
     std::int32_t proposers[grid::kNeighborCount];
-    for (int r = 0; r < env_.rows(); ++r) {
+    for (int r = begin_row; r < end_row; ++r) {
         for (int c = 0; c < env_.cols(); ++c) {
             if (!env_.empty(r, c)) continue;
             const int n = gather_proposers(env_, props_.future_row.data(),
@@ -58,6 +80,28 @@ void CpuSimulator::stage_movement(std::vector<Move>& out_moves) {
             const int w = select_winner(stream, n);
             out_moves.push_back({proposers[w], r, c});
         }
+    }
+}
+
+void CpuSimulator::stage_movement(std::vector<Move>& out_moves) {
+    const auto slices = exec::plan_slices(config_.exec, 0, env_.rows());
+    if (slices.size() <= 1) {
+        movement_rows(0, env_.rows(), out_moves);
+        return;
+    }
+    // Per-slice scratch, merged in slice order: the concatenation of
+    // contiguous row bands reproduces the serial row-major move order.
+    std::vector<std::vector<Move>> parts(slices.size());
+    exec::ThreadPool::shared().run(
+        static_cast<int>(slices.size()), config_.exec.effective_threads(),
+        [&](int s) {
+            const auto& sl = slices[static_cast<std::size_t>(s)];
+            movement_rows(static_cast<int>(sl.begin),
+                          static_cast<int>(sl.end),
+                          parts[static_cast<std::size_t>(s)]);
+        });
+    for (const auto& part : parts) {
+        out_moves.insert(out_moves.end(), part.begin(), part.end());
     }
 }
 

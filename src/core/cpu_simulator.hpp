@@ -1,8 +1,12 @@
-// Sequential reference engine (the paper's single-threaded CPU baseline).
+// Host CPU engine (the paper's single-threaded baseline, now range-based).
 //
-// Runs the identical four-stage pipeline as plain row-major loops. Used as
-// the measured-wall-clock comparator for Fig. 5b/5c and the functional
-// comparator for Fig. 6b.
+// Each stage is decomposed over explicit [begin, end) row/agent slices —
+// the host-side analogue of the paper's 16x16 tile decomposition. With
+// `SimConfig::exec.threads == 1` the slices collapse to the seed's plain
+// row-major loops (the measured Fig. 5b/5c comparator); at N threads the
+// slices run on the exec::ThreadPool and, because every stochastic choice
+// is a pure function of (seed, entity, step) and per-slice movement
+// scratch is merged in slice order, the results stay bit-identical.
 #pragma once
 
 #include "core/simulator.hpp"
@@ -18,6 +22,14 @@ class CpuSimulator final : public Simulator {
     void stage_initial_calc() override;
     void stage_tour_construction() override;
     void stage_movement(std::vector<Move>& out_moves) override;
+
+  private:
+    // Range-based stage bodies: each computes one contiguous slice and
+    // only writes state owned by entities inside the slice.
+    void initial_calc_rows(int begin_row, int end_row);
+    void tour_construction_agents(std::size_t begin, std::size_t end);
+    void movement_rows(int begin_row, int end_row,
+                       std::vector<Move>& out_moves) const;
 };
 
 }  // namespace pedsim::core

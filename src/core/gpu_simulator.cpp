@@ -81,7 +81,8 @@ void GpuSimulator::stage_reset() {
                              reinterpret_cast<std::uint64_t>(
                                  props_.future_row.data() + idx),
                              sizeof(std::int32_t) * 2 + 1);
-        });
+        },
+        config_.exec);
     record("support_reset", grid, block, std::move(stats));
 }
 
@@ -141,6 +142,20 @@ void GpuSimulator::stage_initial_calc() {
             const std::int32_t i = occupied ? sh.idx.at(lr, lc) : 0;
             const grid::Group g =
                 occupied ? props_.group_of(i) : grid::Group::kTop;
+            // Wall cells read as occupied but carry index 0, so with
+            // host-parallel blocks every wall thread would contend on the
+            // shared dump row. Per-thread dump targets absorb their writes
+            // instead (the instrumentation below is unchanged, and row 0
+            // is never read, so serial results and stats are identical).
+            const bool agent = i > 0;
+            std::uint8_t dump_flag = 0;
+            std::int8_t dump_count = 0;
+            double dump_values[grid::kNeighborCount];
+            std::int8_t dump_cells[grid::kNeighborCount];
+            double* const out_values =
+                agent ? scan_.values(i) : dump_values;
+            std::int8_t* const out_cells =
+                agent ? scan_.cells(i) : dump_cells;
 
             auto tile_empty = [&](int nr, int nc) {
                 ctx.shared_load(1);
@@ -152,8 +167,8 @@ void GpuSimulator::stage_initial_calc() {
                 grid::forward_neighbor(g))];
             const bool front_empty = tile_empty(r + fwd.dr, c + fwd.dc);
             if (occupied) {
-                props_.front_blocked[static_cast<std::size_t>(i)] =
-                    front_empty ? 0 : 1;
+                (agent ? props_.front_blocked[static_cast<std::size_t>(i)]
+                       : dump_flag) = front_empty ? 0 : 1;
             }
             ctx.global_store(
                 kAccessProps,
@@ -162,8 +177,10 @@ void GpuSimulator::stage_initial_calc() {
                 1);
 
             const bool panicked = occupied && panic_applies(r, c);
-            if (occupied) props_.panicked[static_cast<std::size_t>(i)] =
-                panicked ? 1 : 0;
+            if (occupied) {
+                (agent ? props_.panicked[static_cast<std::size_t>(i)]
+                       : dump_flag) = panicked ? 1 : 0;
+            }
 
             const bool needs_scan =
                 occupied &&
@@ -183,8 +200,10 @@ void GpuSimulator::stage_initial_calc() {
                                     env_.flat(r, c)),
                                 static_cast<std::uint32_t>(
                                     8 * std::max(config_.scan.range, 1)));
-                scan_.count(i) =
-                    static_cast<std::int8_t>(fill_scan_row(i, r, c, g));
+                if (agent) {
+                    scan_.count(i) =
+                        static_cast<std::int8_t>(fill_scan_row(i, r, c, g));
+                }
                 ctx.global_store(
                     kAccessScan,
                     reinterpret_cast<std::uint64_t>(scan_.values(i)),
@@ -197,7 +216,7 @@ void GpuSimulator::stage_initial_calc() {
             int n;
             if (config_.model == Model::kLem) {
                 n = build_candidates_lem_t(tile_empty, df_, g, r, c,
-                                           scan_.values(i), scan_.cells(i));
+                                           out_values, out_cells);
             } else {
                 auto tile_tau = [&](int nr, int nc) {
                     ctx.shared_load(8);
@@ -209,15 +228,17 @@ void GpuSimulator::stage_initial_calc() {
                                    nc - ctx.block_idx.x * simt::kTileEdge);
                 };
                 n = build_candidates_aco_t(tile_empty, tile_tau, df_,
-                                           config_.aco, g, r, c,
-                                           scan_.values(i), scan_.cells(i));
+                                           config_.aco, g, r, c, out_values,
+                                           out_cells);
             }
-            scan_.count(i) = static_cast<std::int8_t>(n);
+            (agent ? scan_.count(i) : dump_count) =
+                static_cast<std::int8_t>(n);
             ctx.global_store(kAccessScan,
                              reinterpret_cast<std::uint64_t>(scan_.values(i)),
                              static_cast<std::uint32_t>(
                                  grid::kNeighborCount * sizeof(double)));
-        });
+        },
+        config_.exec);
     record("initial_calc", grid, block, std::move(stats));
 }
 
@@ -273,7 +294,8 @@ void GpuSimulator::stage_tour_construction() {
                                                     i),
                     sizeof(std::int32_t) * 2);
             }
-        });
+        },
+        config_.exec);
     record("tour_construction", grid, block, std::move(stats));
 }
 
@@ -361,7 +383,8 @@ void GpuSimulator::stage_movement(std::vector<Move>& out_moves) {
                 reinterpret_cast<std::uint64_t>(winner_.data() +
                                                 env_.flat(r, c)),
                 sizeof(std::int32_t));
-        });
+        },
+        config_.exec);
     record("movement", grid, block, std::move(stats));
 
     // Host-side collection in row-major order — the same order the CPU

@@ -37,6 +37,8 @@ struct StepResult {
     int conflicts = 0;       ///< proposals lost to contention
     int crossed_top = 0;     ///< agents that crossed this step
     int crossed_bottom = 0;
+
+    bool operator==(const StepResult&) const = default;
 };
 
 struct RunResult {

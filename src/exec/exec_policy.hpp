@@ -1,0 +1,28 @@
+// Host execution policy: how many threads a component may use.
+//
+// Threaded through SimConfig (engine stages), RunnerOptions (batch jobs)
+// and the bench/example CLIs (--threads). The policy only bounds
+// *parallelism*; every consumer is required to produce bit-identical
+// results at any thread count (docs/PARALLELISM.md states the contract).
+#pragma once
+
+#include <thread>
+
+namespace pedsim::exec {
+
+struct ExecPolicy {
+    /// Worker threads to use; 1 = serial (the seed behaviour),
+    /// 0 = std::thread::hardware_concurrency().
+    int threads = 1;
+
+    [[nodiscard]] int effective_threads() const {
+        if (threads > 0) return threads;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    [[nodiscard]] bool serial() const { return effective_threads() <= 1; }
+
+    bool operator==(const ExecPolicy&) const = default;
+};
+
+}  // namespace pedsim::exec

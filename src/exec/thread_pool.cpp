@@ -1,0 +1,216 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace pedsim::exec {
+
+namespace {
+
+/// Set while a thread executes pool tasks; nested run() goes inline.
+thread_local bool t_in_pool_task = false;
+
+/// Slices per requested thread: a little oversubscription lets cheap
+/// slices (e.g. empty grid bands in the movement gather) load-balance
+/// without changing the merged result.
+constexpr int kSlicesPerThread = 4;
+
+}  // namespace
+
+std::vector<Slice> partition(std::int64_t begin, std::int64_t end,
+                             int slices) {
+    std::vector<Slice> out;
+    const std::int64_t n = end - begin;
+    if (n <= 0) return out;
+    const auto k = static_cast<std::int64_t>(
+        std::clamp<std::int64_t>(slices, 1, n));
+    out.reserve(static_cast<std::size_t>(k));
+    const std::int64_t base = n / k;
+    const std::int64_t extra = n % k;
+    std::int64_t at = begin;
+    for (std::int64_t s = 0; s < k; ++s) {
+        const std::int64_t len = base + (s < extra ? 1 : 0);
+        out.push_back({at, at + len});
+        at += len;
+    }
+    return out;
+}
+
+std::vector<Slice> plan_slices(const ExecPolicy& policy, std::int64_t begin,
+                               std::int64_t end) {
+    if (end <= begin) return {};
+    const int p = policy.effective_threads();
+    if (p <= 1) return {{begin, end}};
+    return partition(begin, end, p * kSlicesPerThread);
+}
+
+struct ThreadPool::Job {
+    const std::function<void(int)>* fn;
+    int tasks;
+    int max_helpers;  ///< attach cap enforcing the caller's parallelism
+    std::atomic<int> next{0};
+
+    std::mutex mutex;
+    std::condition_variable done;
+    int completed = 0;  ///< guarded by mutex
+    int active = 0;     ///< workers currently attached; guarded by mutex
+    std::exception_ptr error;  ///< guarded by mutex
+
+    Job(const std::function<void(int)>& f, int t, int h)
+        : fn(&f), tasks(t), max_helpers(h) {}
+};
+
+void ThreadPool::work(Job& job) {
+    int ran = 0;
+    std::exception_ptr error;
+    for (;;) {
+        const int i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.tasks) break;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            if (!error) error = std::current_exception();
+        }
+        ++ran;
+    }
+    if (ran > 0 || error) {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        job.completed += ran;
+        if (error && !job.error) job.error = error;
+        if (job.completed == job.tasks) job.done.notify_all();
+    }
+}
+
+ThreadPool::ThreadPool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+    for (int i = 0; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        // At least 7 workers (caller + 7 = 8-way) so determinism suites
+        // genuinely interleave threads even on single-core CI hosts.
+        return std::max(7, hw == 0 ? 0 : static_cast<int>(hw) - 1);
+    }());
+    return pool;
+}
+
+void ThreadPool::worker_loop() {
+    t_in_pool_task = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stop_ || job_ != nullptr; });
+        if (stop_) return;
+        Job* job = job_;
+        const std::uint64_t epoch = job_epoch_;
+        bool attached = false;
+        {
+            std::lock_guard<std::mutex> jl(job->mutex);
+            if (job->active < job->max_helpers) {
+                ++job->active;
+                attached = true;
+            }
+        }
+        if (!attached) {
+            // Attach quota reached: the job honours its caller's
+            // parallelism bound. Nothing frees up mid-job (helpers detach
+            // only after every task is claimed), so park until the next
+            // publication or shutdown.
+            wake_.wait(lock, [this, epoch] {
+                return stop_ || job_ == nullptr || job_epoch_ != epoch;
+            });
+            continue;
+        }
+        lock.unlock();
+        work(*job);
+        {
+            std::lock_guard<std::mutex> jl(job->mutex);
+            --job->active;
+            if (job->active == 0) job->done.notify_all();
+        }
+        lock.lock();
+        // All tasks are claimed once work() returns; stop re-waking for
+        // it. The epoch check keeps a stale pointer from clearing a newer
+        // job that reused the same stack address.
+        if (job_ == job && job_epoch_ == epoch) job_ = nullptr;
+    }
+}
+
+void ThreadPool::run(int tasks, int parallelism,
+                     const std::function<void(int)>& fn) {
+    if (tasks <= 0) return;
+    const int helpers =
+        std::min({parallelism - 1, workers(), tasks - 1});
+    if (helpers <= 0 || t_in_pool_task) {
+        // Same contract as the parallel path: every task runs, the first
+        // exception is rethrown afterwards.
+        std::exception_ptr error;
+        for (int i = 0; i < tasks; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!error) error = std::current_exception();
+            }
+        }
+        if (error) std::rethrow_exception(error);
+        return;
+    }
+
+    Job job(fn, tasks, helpers);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++job_epoch_;
+    }
+    wake_.notify_all();
+
+    t_in_pool_task = true;
+    work(job);
+    t_in_pool_task = false;
+
+    // No new worker may attach once job_ is cleared under the pool mutex;
+    // then wait out the ones already attached.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job_ == &job) job_ = nullptr;
+    }
+    {
+        std::unique_lock<std::mutex> jl(job.mutex);
+        job.done.wait(jl, [&job] {
+            return job.active == 0 && job.completed == job.tasks;
+        });
+        if (job.error) std::rethrow_exception(job.error);
+    }
+}
+
+void for_slices(
+    const ExecPolicy& policy, std::int64_t begin, std::int64_t end,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+    const auto slices = plan_slices(policy, begin, end);
+    if (slices.empty()) return;
+    if (slices.size() == 1) {
+        fn(0, slices[0].begin, slices[0].end);
+        return;
+    }
+    ThreadPool::shared().run(
+        static_cast<int>(slices.size()), policy.effective_threads(),
+        [&](int s) {
+            const auto& sl = slices[static_cast<std::size_t>(s)];
+            fn(s, sl.begin, sl.end);
+        });
+}
+
+}  // namespace pedsim::exec

@@ -1,0 +1,98 @@
+// Fixed thread-pool executor with deterministic range decomposition.
+//
+// The pool is deliberately work-stealing-free: parallel work is expressed
+// as an indexed set of tasks (usually contiguous index-range slices from
+// plan_slices), workers claim task *indices* from a shared counter, and
+// every result lands in a caller-owned slot keyed by task index. Which
+// thread runs which slice is scheduling noise; what each slice computes
+// and where it is stored is a pure function of the slice index — the
+// property that keeps N-thread runs bit-identical to the serial engine.
+//
+// run() is re-entrant by design: a task that itself calls run() (e.g. a
+// batch scenario job whose engine is also pool-aware) executes the nested
+// work inline on the calling worker, so nesting can never deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_policy.hpp"
+
+namespace pedsim::exec {
+
+/// One contiguous index slice [begin, end).
+struct Slice {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+
+    [[nodiscard]] std::int64_t size() const { return end - begin; }
+    bool operator==(const Slice&) const = default;
+};
+
+/// Split [begin, end) into at most `slices` contiguous, near-equal,
+/// in-order pieces (larger pieces first; never an empty piece).
+std::vector<Slice> partition(std::int64_t begin, std::int64_t end,
+                             int slices);
+
+/// The slices for_slices() would dispatch for this policy and range:
+/// one slice when the policy is serial, otherwise a small multiple of the
+/// thread count so uneven slices load-balance. Depends only on the policy
+/// and range — never on pool occupancy — so scratch sized from it is
+/// reproducible.
+std::vector<Slice> plan_slices(const ExecPolicy& policy, std::int64_t begin,
+                               std::int64_t end);
+
+class ThreadPool {
+  public:
+    /// Spawns `workers` parked threads (0 is valid: run() degrades to the
+    /// caller executing everything inline).
+    explicit ThreadPool(int workers);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Process-wide pool, created on first parallel dispatch. Sized so
+    /// determinism suites can exercise 8-way parallelism even on small
+    /// hosts; parked workers cost nothing.
+    static ThreadPool& shared();
+
+    [[nodiscard]] int workers() const {
+        return static_cast<int>(threads_.size());
+    }
+
+    /// Execute fn(i) exactly once for every i in [0, tasks), using the
+    /// caller plus at most parallelism-1 pool workers. Blocks until all
+    /// tasks finished. The first exception thrown by any task is
+    /// rethrown on the caller. Callable from inside a pool task: nested
+    /// calls run inline on the calling thread.
+    void run(int tasks, int parallelism, const std::function<void(int)>& fn);
+
+  private:
+    struct Job;
+    void worker_loop();
+    static void work(Job& job);
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    Job* job_ = nullptr;
+    /// Bumped on every publication. Jobs live on caller stacks, so a
+    /// drained job and the next published one can share an address; the
+    /// epoch disambiguates them where a pointer compare cannot.
+    std::uint64_t job_epoch_ = 0;
+    bool stop_ = false;
+};
+
+/// Dispatch fn(slice_index, begin, end) over plan_slices(policy, begin,
+/// end) on the shared pool. Slice indices are dense and in range order, so
+/// per-slice scratch merged by ascending slice index reproduces the serial
+/// left-to-right order exactly.
+void for_slices(
+    const ExecPolicy& policy, std::int64_t begin, std::int64_t end,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+}  // namespace pedsim::exec

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/exec_policy.hpp"
+
 namespace pedsim::io {
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
@@ -41,6 +43,11 @@ double ArgParser::get_double(const std::string& key, double def) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return def;
     return std::stod(it->second);
+}
+
+int ArgParser::get_threads() const {
+    const exec::ExecPolicy policy{static_cast<int>(get_int("threads", 0))};
+    return policy.effective_threads();
 }
 
 bool ArgParser::get_bool(const std::string& key, bool def) const {

@@ -20,6 +20,10 @@ class ArgParser {
                                     long long def) const;
     [[nodiscard]] double get_double(const std::string& key, double def) const;
     [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+    /// The shared `--threads=N` convention: N from the command line, or
+    /// std::thread::hardware_concurrency() when absent (0 also maps to
+    /// hardware concurrency, matching exec::ExecPolicy).
+    [[nodiscard]] int get_threads() const;
 
     [[nodiscard]] const std::vector<std::string>& positional() const {
         return positional_;

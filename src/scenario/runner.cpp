@@ -5,6 +5,7 @@
 
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
+#include "exec/thread_pool.hpp"
 #include "io/table.hpp"
 #include "rng/philox.hpp"
 #include "scenario/registry.hpp"
@@ -61,6 +62,7 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
     core::SimConfig cfg = s.sim;
     cfg.model = model;
     cfg.seed = seed;
+    if (opts_.engine_threads > 0) cfg.exec.threads = opts_.engine_threads;
     const auto sim = make_engine(engine, cfg);
     RunRecord rec;
     rec.scenario = s.name;
@@ -75,7 +77,17 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
 
 std::vector<RunRecord> ScenarioRunner::run(
     const std::vector<Scenario>& scenarios) const {
-    std::vector<RunRecord> records;
+    // Expand the scenario x model x repeat x engine nest into a flat job
+    // list first; job j writes records[j], so the collected batch keeps
+    // the serial nesting order at any thread count.
+    struct JobSpec {
+        const Scenario* scenario;
+        EngineKind engine;
+        core::Model model;
+        std::uint64_t seed;
+        int steps;
+    };
+    std::vector<JobSpec> jobs;
     for (const auto& s : scenarios) {
         const int steps =
             opts_.steps_override > 0 ? opts_.steps_override : s.default_steps;
@@ -86,11 +98,28 @@ std::vector<RunRecord> ScenarioRunner::run(
             for (int rep = 0; rep < opts_.repeats; ++rep) {
                 const auto seed = repeat_seed(s.sim.seed, rep);
                 for (const auto engine : opts_.engines) {
-                    records.push_back(run_one(s, engine, model, seed, steps));
+                    jobs.push_back({&s, engine, model, seed, steps});
                 }
             }
         }
     }
+
+    std::vector<RunRecord> records(jobs.size());
+    const exec::ExecPolicy policy{opts_.threads};
+    const auto execute = [&](int j) {
+        const auto& job = jobs[static_cast<std::size_t>(j)];
+        records[static_cast<std::size_t>(j)] = run_one(
+            *job.scenario, job.engine, job.model, job.seed, job.steps);
+    };
+    if (policy.serial() || jobs.size() <= 1) {
+        // Keep serial batches thread-free (no pool is ever created).
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            execute(static_cast<int>(j));
+        }
+        return records;
+    }
+    exec::ThreadPool::shared().run(static_cast<int>(jobs.size()),
+                                   policy.effective_threads(), execute);
     return records;
 }
 

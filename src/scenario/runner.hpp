@@ -30,6 +30,16 @@ struct RunnerOptions {
     /// Independent repetitions per combination (seeds derived per repeat;
     /// repeat 0 keeps the scenario's own seed).
     int repeats = 1;
+    /// Batch parallelism: runs are embarrassingly parallel (per-run RNG
+    /// streams, per-run engines), so they execute as exec::ThreadPool jobs
+    /// with results collected in the serial batch order. 1 = serial,
+    /// 0 = hardware concurrency.
+    int threads = 1;
+    /// Override each run's engine-internal thread count; 0 keeps the
+    /// scenario's own `sim.exec` policy. Nested parallelism is safe (inner
+    /// dispatches run inline on the batch worker) but usually wasteful —
+    /// prefer batch-level threads for sweeps.
+    int engine_threads = 0;
 };
 
 struct RunRecord {

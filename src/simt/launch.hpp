@@ -19,7 +19,9 @@
 #include <array>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "simt/device_spec.hpp"
 #include "simt/stats.hpp"
 
@@ -208,46 +210,73 @@ class ThreadCtx {
     WarpTracker* warp_ = nullptr;
 };
 
+/// Execute one block of a phase-structured kernel, accumulating its warp
+/// counters into `ks`. Shared by the serial and host-parallel launch
+/// paths so both produce identical per-block stats.
+template <typename SharedT, typename Fn>
+void run_block(const DeviceSpec& spec, Dim2 grid, Dim2 block, int phases,
+               Fn& fn, int bx, int by, KernelStats& ks) {
+    const int threads_per_block = block.count();
+    const int warps_per_block = (threads_per_block + spec.warp_size - 1) /
+                                std::max(spec.warp_size, 1);
+    SharedT shared{};
+    ks.blocks += 1;
+    ks.threads += static_cast<std::uint64_t>(threads_per_block);
+    for (int phase = 0; phase < phases; ++phase) {
+        for (int w = 0; w < warps_per_block; ++w) {
+            WarpTracker tracker(spec.memory_transaction_bytes);
+            const int lane_begin = w * spec.warp_size;
+            const int lane_end =
+                std::min(lane_begin + spec.warp_size, threads_per_block);
+            for (int t = lane_begin; t < lane_end; ++t) {
+                ThreadCtx ctx;
+                ctx.grid_dim = grid;
+                ctx.block_dim = block;
+                ctx.block_idx = {bx, by};
+                ctx.thread_idx = {t % block.x, t / block.x};
+                ctx.bind(&tracker);
+                tracker.begin_lane();
+                fn(ctx, shared, phase);
+                tracker.end_lane();
+            }
+            tracker.retire(ks);
+        }
+    }
+}
+
 /// Execute a phase-structured kernel over a grid of blocks.
 ///
 /// `SharedT` models the block's shared memory: one instance is
 /// default-constructed per block and passed to every thread of that block.
 /// `fn(ctx, shared, phase)` is invoked for phases 0..phases-1 with a full
 /// block barrier between phases.
+///
+/// `host` distributes whole blocks across the exec::ThreadPool — blocks
+/// are independent by the same argument the paper uses to map them onto
+/// SMs (inter-block writes are per-entity disjoint). The launch log is
+/// unchanged: per-slice stats are merged in block order, so divergence,
+/// coalescing and modeled time are identical at any host thread count;
+/// only host wall-clock drops.
 template <typename SharedT, typename Fn>
 KernelStats launch(const DeviceSpec& spec, Dim2 grid, Dim2 block, int phases,
-                   Fn&& fn) {
-    KernelStats ks;
-    const int threads_per_block = block.count();
-    const int warps_per_block = (threads_per_block + spec.warp_size - 1) /
-                                std::max(spec.warp_size, 1);
-    for (int by = 0; by < grid.y; ++by) {
-        for (int bx = 0; bx < grid.x; ++bx) {
-            SharedT shared{};
-            ks.blocks += 1;
-            ks.threads += static_cast<std::uint64_t>(threads_per_block);
-            for (int phase = 0; phase < phases; ++phase) {
-                for (int w = 0; w < warps_per_block; ++w) {
-                    WarpTracker tracker(spec.memory_transaction_bytes);
-                    const int lane_begin = w * spec.warp_size;
-                    const int lane_end = std::min(lane_begin + spec.warp_size,
-                                                  threads_per_block);
-                    for (int t = lane_begin; t < lane_end; ++t) {
-                        ThreadCtx ctx;
-                        ctx.grid_dim = grid;
-                        ctx.block_dim = block;
-                        ctx.block_idx = {bx, by};
-                        ctx.thread_idx = {t % block.x, t / block.x};
-                        ctx.bind(&tracker);
-                        tracker.begin_lane();
-                        fn(ctx, shared, phase);
-                        tracker.end_lane();
-                    }
-                    tracker.retire(ks);
-                }
+                   Fn&& fn, const exec::ExecPolicy& host = {}) {
+    const auto n_blocks = static_cast<std::int64_t>(grid.count());
+    // Per-slice stats merged in flat block order: serial (one slice) and
+    // host-parallel launches produce the identical accumulation.
+    const auto slices = exec::plan_slices(host, 0, n_blocks);
+    std::vector<KernelStats> parts(std::max<std::size_t>(slices.size(), 1));
+    exec::for_slices(
+        host, 0, n_blocks,
+        [&](int s, std::int64_t begin, std::int64_t end) {
+            auto& part = parts[static_cast<std::size_t>(s)];
+            for (std::int64_t b = begin; b < end; ++b) {
+                run_block<SharedT>(spec, grid, block, phases, fn,
+                                   static_cast<int>(b) % grid.x,
+                                   static_cast<int>(b) / grid.x, part);
             }
-        }
-    }
+        });
+    KernelStats ks;
+    for (const auto& part : parts) ks.merge(part);
     return ks;
 }
 

@@ -1,0 +1,141 @@
+// Unit tests for the exec subsystem: range partitioning, thread-pool task
+// semantics (exactly-once, nesting, exceptions) and slice planning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "exec/thread_pool.hpp"
+
+using namespace pedsim;
+
+TEST(Partition, CoversRangeContiguouslyInOrder) {
+    const std::vector<std::tuple<std::int64_t, std::int64_t, int>> cases{
+        {0, 100, 7}, {5, 6, 4}, {-10, 10, 3}, {0, 8, 8}, {0, 3, 16}};
+    for (const auto& [begin, end, slices] : cases) {
+        const auto parts = exec::partition(begin, end, slices);
+        ASSERT_FALSE(parts.empty());
+        EXPECT_LE(static_cast<int>(parts.size()), slices);
+        EXPECT_EQ(parts.front().begin, begin);
+        EXPECT_EQ(parts.back().end, end);
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            EXPECT_GT(parts[i].size(), 0);
+            if (i > 0) {
+                EXPECT_EQ(parts[i].begin, parts[i - 1].end);
+            }
+        }
+    }
+}
+
+TEST(Partition, EmptyRangeYieldsNoSlices) {
+    EXPECT_TRUE(exec::partition(3, 3, 4).empty());
+    EXPECT_TRUE(exec::partition(5, 2, 4).empty());
+}
+
+TEST(Partition, SlicesAreBalancedWithinOne) {
+    const auto parts = exec::partition(0, 103, 10);
+    ASSERT_EQ(parts.size(), 10u);
+    for (const auto& p : parts) {
+        EXPECT_GE(p.size(), 10);
+        EXPECT_LE(p.size(), 11);
+    }
+}
+
+TEST(PlanSlices, SerialPolicyIsOneSlice) {
+    const exec::ExecPolicy serial{1};
+    const auto parts = exec::plan_slices(serial, 0, 1000);
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], (exec::Slice{0, 1000}));
+}
+
+TEST(PlanSlices, DependsOnPolicyNotPoolState) {
+    const exec::ExecPolicy four{4};
+    const auto a = exec::plan_slices(four, 0, 64);
+    const auto b = exec::plan_slices(four, 0, 64);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+    constexpr int kTasks = 257;
+    std::vector<std::atomic<int>> hits(kTasks);
+    exec::ThreadPool::shared().run(kTasks, 8,
+                                   [&](int i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ActuallyUsesMultipleThreadsWhenAsked) {
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    exec::ThreadPool::shared().run(64, 8, [&](int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+    });
+    // The shared pool guarantees at least 7 workers, so an 8-way run of 64
+    // 1 ms tasks is effectively certain to land on more than one thread.
+    EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPool, HonoursTheParallelismBound) {
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    exec::ThreadPool::shared().run(32, 2, [&](int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+    });
+    // parallelism=2 admits the caller plus at most one pool worker, no
+    // matter how many workers the shared pool parks.
+    EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, NestedRunExecutesInlineWithoutDeadlock) {
+    std::atomic<int> inner{0};
+    exec::ThreadPool::shared().run(8, 8, [&](int) {
+        exec::ThreadPool::shared().run(8, 8,
+                                       [&](int) { inner.fetch_add(1); });
+    });
+    EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+    EXPECT_THROW(exec::ThreadPool::shared().run(
+                     16, 4,
+                     [](int i) {
+                         if (i == 7) throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The pool stays usable after a failed job.
+    std::atomic<int> ok{0};
+    exec::ThreadPool::shared().run(4, 4, [&](int) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ForSlices, CoversRangeAndMergesInSliceOrder) {
+    const exec::ExecPolicy four{4};
+    const auto slices = exec::plan_slices(four, 0, 1000);
+    std::vector<std::vector<std::int64_t>> parts(slices.size());
+    exec::for_slices(four, 0, 1000,
+                     [&](int s, std::int64_t b, std::int64_t e) {
+                         for (std::int64_t i = b; i < e; ++i) {
+                             parts[static_cast<std::size_t>(s)].push_back(i);
+                         }
+                     });
+    std::vector<std::int64_t> merged;
+    for (const auto& p : parts) merged.insert(merged.end(), p.begin(), p.end());
+    std::vector<std::int64_t> expect(1000);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(merged, expect);
+}
+
+TEST(ExecPolicy, ZeroMeansHardwareConcurrency) {
+    const exec::ExecPolicy automatic{0};
+    EXPECT_GE(automatic.effective_threads(), 1);
+    EXPECT_EQ(exec::ExecPolicy{1}.effective_threads(), 1);
+    EXPECT_EQ(exec::ExecPolicy{6}.effective_threads(), 6);
+}
