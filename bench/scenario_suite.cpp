@@ -1,7 +1,9 @@
 // Batch scenario suite: run scenario x model x engine combinations from
 // the built-in registry (or user scenario files) with deterministic
 // per-repeat seeds, and print the aggregated metrics table. The per-run
-// fingerprint column makes cross-engine bit-parity visible at a glance.
+// fingerprint column makes cross-engine bit-parity visible at a glance;
+// the doors and steps_per_s columns make throughput-vs-event-count
+// measurable across the dynamic-environment scenarios.
 //
 //   ./scenario_suite                        # full registry, both engines
 //   ./scenario_suite --engines=cpu          # CPU only
@@ -127,18 +129,23 @@ int main(int argc, char** argv) {
     if (args.has("csv")) {
         io::CsvWriter csv(args.get("csv"));
         csv.header({"scenario", "engine", "model", "seed", "steps",
-                    "threads", "crossed", "moves", "conflicts", "wall_s",
-                    "modeled_s", "batch_wall_s", "fingerprint"});
+                    "threads", "doors", "crossed", "moves", "conflicts",
+                    "wall_s", "steps_per_s", "modeled_s", "batch_wall_s",
+                    "fingerprint"});
         for (const auto& r : records) {
             char fp[20];
             std::snprintf(fp, sizeof(fp), "%016llx",
                           static_cast<unsigned long long>(r.fingerprint));
+            const double sps =
+                r.result.wall_seconds > 0.0
+                    ? r.result.steps_run / r.result.wall_seconds
+                    : 0.0;
             csv.row(r.scenario, scenario::engine_name(r.engine),
                     r.model == core::Model::kLem ? "lem" : "aco", r.seed,
-                    r.steps, opts.threads, r.result.crossed_total(),
-                    r.result.total_moves, r.result.total_conflicts,
-                    r.result.wall_seconds, r.result.modeled_device_seconds,
-                    batch_wall, fp);
+                    r.steps, opts.threads, r.door_events,
+                    r.result.crossed_total(), r.result.total_moves,
+                    r.result.total_conflicts, r.result.wall_seconds, sps,
+                    r.result.modeled_device_seconds, batch_wall, fp);
         }
         std::printf("\nwrote %s\n", args.get("csv").c_str());
     }

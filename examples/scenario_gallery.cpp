@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
             "scenario_gallery — browse the built-in scenario library\n"
             "  [name...]     render only the named scenarios\n"
             "  --export=DIR  also write each scenario as DIR/<name>.scenario\n"
+            "                (each export is re-parsed and re-serialized; "
+            "drift fails)\n"
             "  --preview=N   run N steps before rendering (0 = placement "
             "only)\n"
             "  --threads=N   host threads for the preview runs");
@@ -42,11 +44,11 @@ int main(int argc, char** argv) {
                     s.description.c_str());
         std::printf(
             "grid %dx%d, %zu agents, model %s, seed %llu, %d default "
-            "steps, %zu wall cells\n",
+            "steps, %zu wall cells, %zu door events\n",
             s.sim.grid.rows, s.sim.grid.cols, s.sim.total_agents(),
             s.sim.model == core::Model::kLem ? "lem" : "aco",
             static_cast<unsigned long long>(s.sim.seed), s.default_steps,
-            s.sim.layout.wall_cells.size());
+            s.sim.layout.wall_cells.size(), s.sim.doors.size());
 
         // Walls + placement by default; --preview steps the crowd forward
         // on the (exec-policy-aware) CPU engine before rendering.
@@ -59,13 +61,31 @@ int main(int argc, char** argv) {
         if (args.has("export")) {
             const auto path =
                 args.get("export") + "/" + s.name + ".scenario";
+            const auto text = io::scenario_to_text(s);
             std::ofstream out(path);
-            out << io::scenario_to_text(s);
+            out << text;
+            out.close();
             if (!out) {
                 std::fprintf(stderr, "cannot write %s\n", path.c_str());
                 return 1;
             }
-            std::printf("wrote %s\n\n", path.c_str());
+            // Round-trip self-check: re-parse the exported file and
+            // re-serialize; any serializer/parser drift fails the export.
+            try {
+                const auto back = io::load_scenario_file(path);
+                if (io::scenario_to_text(back) != text) {
+                    std::fprintf(stderr,
+                                 "round-trip drift: %s re-serializes "
+                                 "differently\n",
+                                 path.c_str());
+                    return 1;
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "round-trip parse of %s failed: %s\n",
+                             path.c_str(), e.what());
+                return 1;
+            }
+            std::printf("wrote %s (round-trip ok)\n\n", path.c_str());
         }
     }
     return 0;

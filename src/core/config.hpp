@@ -65,6 +65,32 @@ struct PanicConfig {
     bool operator==(const PanicConfig&) const = default;
 };
 
+/// What a timed door event does to its cells.
+enum class DoorAction : std::uint8_t {
+    kOpen,   ///< wall cells in the rect become empty
+    kClose,  ///< cells in the rect become walls
+};
+
+/// One timed wall event (ROADMAP follow-up to the scenario subsystem:
+/// doors that open/close mid-run). At the START of step `step` — before
+/// any stage of that step executes — the inclusive rect
+/// [row0, row1] x [col0, col1] opens (walls removed) or closes (walls
+/// added). Like the panic alarm, an event fires as a pure function of the
+/// step counter, never of thread count or engine, so runs stay
+/// bit-identical. An agent standing in a closing door is retired from the
+/// simulation (deterministically: its position is itself a pure function
+/// of (seed, step)).
+struct DoorEvent {
+    std::uint64_t step = 0;
+    int row0 = 0;
+    int col0 = 0;
+    int row1 = 0;
+    int col1 = 0;
+    DoorAction action = DoorAction::kOpen;
+
+    bool operator==(const DoorEvent&) const = default;
+};
+
 /// Heterogeneous walking speeds (future work: "velocity and size of the
 /// pedestrians are kept constant in all the simulations"). A seeded
 /// fraction of agents is slow: they propose a move only every
@@ -131,6 +157,13 @@ struct SimConfig {
     PanicConfig panic;
     SpeedConfig speed;
     ScanConfig scan;
+
+    /// Timed wall events, applied at step boundaries in firing order
+    /// (stable-sorted by step). Any door event switches the engines to
+    /// phase-cached geodesic distance fields (core::DoorSchedule): one
+    /// field per distinct wall configuration, precomputed at setup, so a
+    /// mid-run event is a pointer swap — never a Dijkstra rebuild.
+    std::vector<DoorEvent> doors;
 
     /// Scenario geometry (walls, goals, spawn regions); the default empty
     /// layout is the paper's corridor.

@@ -1,0 +1,85 @@
+#include "core/door_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pedsim::core {
+
+void validate_doors(const std::vector<DoorEvent>& doors,
+                    const grid::GridConfig& grid) {
+    for (std::size_t k = 0; k < doors.size(); ++k) {
+        const auto& e = doors[k];
+        if (e.row0 < 0 || e.col0 < 0 || e.row1 < e.row0 || e.col1 < e.col0 ||
+            e.row1 >= grid.rows || e.col1 >= grid.cols) {
+            throw std::invalid_argument(
+                "door event " + std::to_string(k) + " (step " +
+                std::to_string(e.step) + "): rect out of bounds for " +
+                std::to_string(grid.rows) + "x" + std::to_string(grid.cols) +
+                " grid");
+        }
+    }
+}
+
+DoorSchedule::DoorSchedule(const SimConfig& config) {
+    validate_doors(config.doors, config.grid);
+    events_ = config.doors;
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const DoorEvent& a, const DoorEvent& b) {
+                         return a.step < b.step;
+                     });
+
+    // Doors toggle walls, so any event forces the geodesic mode even when
+    // the initial layout is wall-free; without events the static choice of
+    // PR 1 (analytic unless the layout needs geodesic) is reproduced.
+    const bool geodesic =
+        config.layout.needs_geodesic() || !events_.empty();
+
+    const std::size_t cells = config.grid.cell_count();
+    std::vector<std::uint8_t> mask(cells, 0);
+    for (const auto cell : config.layout.wall_cells) {
+        if (cell >= cells) {
+            throw std::invalid_argument("DoorSchedule: wall cell off-grid");
+        }
+        mask[cell] = 1;
+    }
+
+    const auto snapshot = [&mask] {
+        std::vector<std::uint32_t> walls;
+        for (std::size_t i = 0; i < mask.size(); ++i) {
+            if (mask[i]) walls.push_back(static_cast<std::uint32_t>(i));
+        }
+        return walls;
+    };
+    const auto intern = [&](std::vector<std::uint32_t> walls) {
+        // Phases often revisit a configuration (open ... close back);
+        // reuse the already-built field instead of re-running Dijkstra.
+        for (std::size_t j = 0; j < walls_after_.size(); ++j) {
+            if (walls_after_[j] == walls) {
+                walls_after_.push_back(std::move(walls));
+                after_.push_back(after_[j]);
+                return;
+            }
+        }
+        pool_.push_back(
+            geodesic ? std::make_unique<grid::DistanceField>(
+                           config.grid, walls, config.layout.goal_cells)
+                     : std::make_unique<grid::DistanceField>(config.grid));
+        walls_after_.push_back(std::move(walls));
+        after_.push_back(pool_.back().get());
+    };
+
+    intern(snapshot());
+    for (const auto& e : events_) {
+        const std::uint8_t v = e.action == DoorAction::kClose ? 1 : 0;
+        for (int r = e.row0; r <= e.row1; ++r) {
+            for (int c = e.col0; c <= e.col1; ++c) {
+                mask[static_cast<std::size_t>(r) * config.grid.cols +
+                     static_cast<std::size_t>(c)] = v;
+            }
+        }
+        intern(snapshot());
+    }
+}
+
+}  // namespace pedsim::core

@@ -1,0 +1,64 @@
+// Phase-cached distance fields for timed door events.
+//
+// A run with door events passes through a fixed sequence of wall
+// configurations ("phases"), each fully determined at setup by the static
+// layout plus the sorted event list. DoorSchedule precomputes one geodesic
+// DistanceField per *distinct* configuration (an open-then-close pair maps
+// both of its outer phases to the same field), so the engines' step hot
+// path only swaps a field pointer when an event fires — the O(rows*cols*
+// log) Dijkstra never runs mid-step. With no door events the schedule
+// degenerates to the single static field (analytic for the paper corridor,
+// geodesic when the layout has walls or custom goals), keeping the seed
+// path untouched.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "grid/distance_field.hpp"
+
+namespace pedsim::core {
+
+/// Validate door-event rects against the grid; throws
+/// std::invalid_argument naming the offending event.
+void validate_doors(const std::vector<DoorEvent>& doors,
+                    const grid::GridConfig& grid);
+
+class DoorSchedule {
+  public:
+    explicit DoorSchedule(const SimConfig& config);
+
+    /// Events in firing order: stable-sorted by step, so same-step events
+    /// apply in their SimConfig::doors order.
+    [[nodiscard]] const std::vector<DoorEvent>& events() const {
+        return events_;
+    }
+
+    /// The distance field in effect after the first `fired` events have
+    /// been applied (0 = the initial layout). O(1): precomputed.
+    [[nodiscard]] const grid::DistanceField& field_after(
+        std::size_t fired) const {
+        return *after_[fired];
+    }
+
+    /// Canonical (sorted, deduped) wall-cell list after the first `fired`
+    /// events — the configuration field_after(fired) was built from.
+    [[nodiscard]] const std::vector<std::uint32_t>& walls_after(
+        std::size_t fired) const {
+        return walls_after_[fired];
+    }
+
+    /// Distinct precomputed fields (<= events().size() + 1; fewer when
+    /// events revisit an earlier wall configuration).
+    [[nodiscard]] std::size_t field_count() const { return pool_.size(); }
+
+  private:
+    std::vector<DoorEvent> events_;
+    /// Owning pool of distinct fields; `after_[k]` points into it.
+    std::vector<std::unique_ptr<grid::DistanceField>> pool_;
+    std::vector<const grid::DistanceField*> after_;       // events+1 entries
+    std::vector<std::vector<std::uint32_t>> walls_after_; // events+1 entries
+};
+
+}  // namespace pedsim::core

@@ -28,18 +28,11 @@ std::vector<grid::PlacedAgent> Simulator::init_agents(
     return grid::place_bidirectional(env, pc);
 }
 
-grid::DistanceField Simulator::init_distance_field(const SimConfig& config) {
-    if (config.layout.needs_geodesic()) {
-        return grid::DistanceField(config.grid, config.layout.wall_cells,
-                                   config.layout.goal_cells);
-    }
-    return grid::DistanceField(config.grid);
-}
-
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
       env_(config.grid),
-      df_(init_distance_field(config)),
+      doors_(config_),
+      df_(&doors_.field_after(0)),
       placed_(init_agents(env_, config_)),
       props_(placed_),
       scan_(placed_.size()) {
@@ -67,22 +60,22 @@ int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
     }
     if (config_.model == Model::kLem) {
         if (config_.scan.range > 1) {
-            return build_candidates_lem_scan_t(empty, df_, config_.scan,
+            return build_candidates_lem_scan_t(empty, *df_, config_.scan,
                                                config_.grid, g, r, c,
                                                scan_.values(i),
                                                scan_.cells(i));
         }
-        return build_candidates_lem(env_, df_, g, r, c, scan_.values(i),
+        return build_candidates_lem(env_, *df_, g, r, c, scan_.values(i),
                                     scan_.cells(i));
     }
     auto tau = [&](int rr, int cc) { return pher_->at(g, rr, cc); };
     if (config_.scan.range > 1) {
-        return build_candidates_aco_scan_t(empty, tau, df_, config_.aco,
+        return build_candidates_aco_scan_t(empty, tau, *df_, config_.aco,
                                            config_.scan, config_.grid, g, r,
                                            c, scan_.values(i),
                                            scan_.cells(i));
     }
-    return build_candidates_aco(env_, df_, *pher_, config_.aco, g, r, c,
+    return build_candidates_aco(env_, *df_, *pher_, config_.aco, g, r, c,
                                 scan_.values(i), scan_.cells(i));
 }
 
@@ -143,9 +136,50 @@ bool Simulator::decide_future(std::int32_t i) {
     return true;
 }
 
+void Simulator::fire_due_doors() {
+    const auto& events = doors_.events();
+    if (next_door_ >= events.size() || events[next_door_].step > step_) {
+        return;
+    }
+    while (next_door_ < events.size() && events[next_door_].step <= step_) {
+        apply_door(events[next_door_]);
+        ++next_door_;
+    }
+    // O(1) hot-path cost: the phase's geodesic field was precomputed at
+    // construction, so an event is wall toggles plus this pointer swap.
+    df_ = &doors_.field_after(next_door_);
+}
+
+void Simulator::apply_door(const DoorEvent& event) {
+    for (int r = event.row0; r <= event.row1; ++r) {
+        for (int c = event.col0; c <= event.col1; ++c) {
+            if (event.action == DoorAction::kClose) {
+                if (env_.is_wall(r, c)) continue;
+                if (!env_.empty(r, c)) {
+                    // The door sweeps its cells: an agent caught in a
+                    // closing door is retired (inactive, not crossed).
+                    const std::int32_t i = env_.index_at(r, c);
+                    env_.clear(r, c);
+                    props_.active[static_cast<std::size_t>(i)] = 0;
+                    ++door_retired_;
+                }
+                env_.set_wall(r, c);
+            } else if (env_.is_wall(r, c)) {
+                env_.clear(r, c);
+            }
+        }
+    }
+}
+
 StepResult Simulator::step() {
     StepResult res;
     res.step = step_;
+
+    // Door events fire at the step boundary, before any stage reads the
+    // environment. The SIMT engine rebuilds its global-memory views (and
+    // halo tiles) from env_ every launch, so the new kWallOcc cells flow
+    // into both engines identically.
+    fire_due_doors();
 
     stage_reset();
     stage_initial_calc();
@@ -202,7 +236,7 @@ void Simulator::finish_step(const std::vector<Move>& moves,
         const auto idx = static_cast<std::size_t>(m.agent);
         if (props_.crossed[idx] != 0) continue;
         const grid::Group g = props_.group_of(m.agent);
-        if (!df_.crossed_at(g, props_.row[idx], props_.col[idx], margin)) {
+        if (!df_->crossed_at(g, props_.row[idx], props_.col[idx], margin)) {
             continue;
         }
         props_.crossed[idx] = 1;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/door_schedule.hpp"
 #include "core/pheromone.hpp"
 #include "core/property_table.hpp"
 #include "core/scan_matrix.hpp"
@@ -74,9 +75,17 @@ class Simulator {
     [[nodiscard]] const SimConfig& config() const { return config_; }
     [[nodiscard]] const grid::Environment& environment() const { return env_; }
     [[nodiscard]] const PropertyTable& properties() const { return props_; }
+    /// The distance field currently in effect. With door events the
+    /// referenced field changes at event boundaries (a swap between
+    /// precomputed phase fields); the fields themselves live in the
+    /// DoorSchedule pool and stay valid for the simulator's lifetime.
     [[nodiscard]] const grid::DistanceField& distance_field() const {
-        return df_;
+        return *df_;
     }
+    /// The door-event schedule and its phase-cached fields.
+    [[nodiscard]] const DoorSchedule& door_schedule() const { return doors_; }
+    /// Agents removed because a door closed on their cell.
+    [[nodiscard]] std::size_t door_retired() const { return door_retired_; }
     /// Null for LEM runs.
     [[nodiscard]] const PheromoneField* pheromone() const {
         return pher_.get();
@@ -123,7 +132,10 @@ class Simulator {
 
     SimConfig config_;
     grid::Environment env_;
-    grid::DistanceField df_;
+    /// Phase-cached fields (one per distinct wall configuration); df_
+    /// points at the phase currently in effect.
+    DoorSchedule doors_;
+    const grid::DistanceField* df_;
     std::vector<grid::PlacedAgent> placed_;
     PropertyTable props_;
     ScanMatrix scan_;
@@ -135,9 +147,15 @@ class Simulator {
   private:
     static std::vector<grid::PlacedAgent> init_agents(
         grid::Environment& env, const SimConfig& config);
-    /// Analytic table for the paper's empty corridor, geodesic field as
-    /// soon as the layout has walls or custom goals.
-    static grid::DistanceField init_distance_field(const SimConfig& config);
+    /// Fire every door event scheduled for the current step: mutate the
+    /// environment's wall occupancy and swap df_ to the phase's
+    /// precomputed field. Runs on the host thread before any stage, so
+    /// both engines (and every thread count) see identical geometry.
+    void fire_due_doors();
+    void apply_door(const DoorEvent& event);
+
+    std::size_t next_door_ = 0;
+    std::size_t door_retired_ = 0;
 };
 
 /// Factory: the paper's sequential CPU comparator.

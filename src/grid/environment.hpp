@@ -80,8 +80,10 @@ class Environment {
     /// Move the contents of (fr, fc) to the empty cell (tr, tc).
     void move(int fr, int fc, int tr, int tc);
 
-    /// Turn the empty cell (r, c) into a static wall (occupancy kWallOcc,
-    /// index 0). Walls are placed once, before agents, and never removed.
+    /// Turn the empty cell (r, c) into a wall (occupancy kWallOcc,
+    /// index 0). Layout walls are placed before agents; timed door events
+    /// (core::DoorEvent) may add walls mid-run at step boundaries — and
+    /// remove them again via clear().
     void set_wall(int r, int c);
 
     [[nodiscard]] std::size_t flat(int r, int c) const {

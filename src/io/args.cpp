@@ -3,8 +3,19 @@
 #include <stdexcept>
 
 #include "exec/exec_policy.hpp"
+#include "io/strict_parse.hpp"
 
 namespace pedsim::io {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const char* kind,
+                            const std::string& v) {
+    throw std::invalid_argument("--" + key + ": expected " + kind +
+                                ", got '" + v + "'");
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
     if (argc > 0) program_ = argv[0];
@@ -36,13 +47,22 @@ std::string ArgParser::get(const std::string& key,
 long long ArgParser::get_int(const std::string& key, long long def) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return def;
-    return std::stoll(it->second);
+    // Strict full-consumption parse: "--steps=100abc" must not silently
+    // truncate to 100, and "--steps=abc" must name the flag, not throw a
+    // bare std::invalid_argument from std::stoll.
+    long long x = 0;
+    if (!strict_stoll(it->second, x)) {
+        bad_value(key, "an integer", it->second);
+    }
+    return x;
 }
 
 double ArgParser::get_double(const std::string& key, double def) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return def;
-    return std::stod(it->second);
+    double x = 0.0;
+    if (!strict_stod(it->second, x)) bad_value(key, "a number", it->second);
+    return x;
 }
 
 int ArgParser::get_threads() const {

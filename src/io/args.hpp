@@ -16,6 +16,9 @@ class ArgParser {
     [[nodiscard]] bool has(const std::string& key) const;
     [[nodiscard]] std::string get(const std::string& key,
                                   const std::string& def = "") const;
+    /// Numeric getters use a strict full-consumption parse: a value with
+    /// trailing garbage ("100abc") or no digits at all throws
+    /// std::invalid_argument naming the flag, never a silent truncation.
     [[nodiscard]] long long get_int(const std::string& key,
                                     long long def) const;
     [[nodiscard]] double get_double(const std::string& key, double def) const;

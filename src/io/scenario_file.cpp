@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/door_schedule.hpp"
+#include "io/strict_parse.hpp"
+
 namespace pedsim::io {
 
 namespace {
@@ -26,27 +29,34 @@ std::vector<std::string> split_ws(const std::string& s) {
 }
 
 long long to_int(const std::string& key, const std::string& v) {
-    try {
-        std::size_t pos = 0;
-        const long long x = std::stoll(v, &pos);
-        if (pos != v.size()) throw std::invalid_argument(v);
-        return x;
-    } catch (const std::exception&) {
+    long long x = 0;
+    if (!strict_stoll(v, x)) {
         throw std::invalid_argument("scenario: bad integer for " + key +
                                     ": '" + v + "'");
     }
+    return x;
 }
 
 double to_double(const std::string& key, const std::string& v) {
-    try {
-        std::size_t pos = 0;
-        const double x = std::stod(v, &pos);
-        if (pos != v.size()) throw std::invalid_argument(v);
-        return x;
-    } catch (const std::exception&) {
+    double x = 0.0;
+    if (!strict_stod(v, x)) {
         throw std::invalid_argument("scenario: bad number for " + key +
                                     ": '" + v + "'");
     }
+    return x;
+}
+
+/// Step counters (door events, the panic trigger) are unsigned: a negative
+/// value would wrap to a step that never fires and serialize to a number
+/// the round-trip parse rejects.
+std::uint64_t to_step(const std::string& key, const std::string& v) {
+    const long long x = to_int(key, v);
+    if (x < 0) {
+        throw std::invalid_argument("scenario: " + key +
+                                    " step must be non-negative: '" + v +
+                                    "'");
+    }
+    return static_cast<std::uint64_t>(x);
 }
 
 bool to_bool(const std::string& key, const std::string& v) {
@@ -144,11 +154,32 @@ void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
                 "scenario: panic wants 'trigger_step row col radius'");
         }
         sim.panic.enabled = true;
-        sim.panic.trigger_step =
-            static_cast<std::uint64_t>(to_int(key, f[0]));
+        sim.panic.trigger_step = to_step(key, f[0]);
         sim.panic.row = static_cast<int>(to_int(key, f[1]));
         sim.panic.col = static_cast<int>(to_int(key, f[2]));
         sim.panic.radius = to_double(key, f[3]);
+    } else if (key == "door") {
+        const auto f = split_ws(value);
+        if (f.size() != 6) {
+            throw std::invalid_argument(
+                "scenario: door wants 'step open|close row0 col0 row1 col1'");
+        }
+        core::DoorEvent e;
+        e.step = to_step(key, f[0]);
+        if (f[1] == "open") {
+            e.action = core::DoorAction::kOpen;
+        } else if (f[1] == "close") {
+            e.action = core::DoorAction::kClose;
+        } else {
+            throw std::invalid_argument(
+                "scenario: door action must be open|close, got '" + f[1] +
+                "'");
+        }
+        e.row0 = static_cast<int>(to_int(key, f[2]));
+        e.col0 = static_cast<int>(to_int(key, f[3]));
+        e.row1 = static_cast<int>(to_int(key, f[4]));
+        e.col1 = static_cast<int>(to_int(key, f[5]));
+        sim.doors.push_back(e);
     } else if (key == "spawn") {
         const auto f = split_ws(value);
         if (f.size() != 6) {
@@ -225,28 +256,41 @@ scenario::Scenario parse_scenario(const std::string& text) {
     std::istringstream is(text);
     std::string line;
     bool in_map = false;
+    bool saw_map = false;
     std::vector<std::string> map_rows;
     while (std::getline(is, line)) {
         if (in_map) {
             // Map rows are taken verbatim ('#' is a wall here, not a
-            // comment); trailing whitespace is stripped, blank lines end
-            // the block.
-            const auto row = trim(line);
+            // comment): only trailing whitespace / '\r' is stripped, and
+            // indentation is rejected outright — a silently left-trimmed
+            // row would shift its walls left. Blank lines end the block.
+            std::string row = line;
+            while (!row.empty() &&
+                   (row.back() == '\r' || row.back() == ' ' ||
+                    row.back() == '\t')) {
+                row.pop_back();
+            }
             if (row.empty()) {
                 in_map = false;
                 continue;
             }
-            map_rows.push_back(row);
+            if (row.front() == ' ' || row.front() == '\t') {
+                throw std::invalid_argument(
+                    "scenario: map row " + std::to_string(map_rows.size()) +
+                    " starts with whitespace (map rows must be flush-left)");
+            }
+            map_rows.push_back(std::move(row));
             continue;
         }
         const auto t = trim(line);
         if (t.empty() || t.front() == '#') continue;
         if (t == "map:") {
-            if (!map_rows.empty()) {
+            if (saw_map) {
                 throw std::invalid_argument(
                     "scenario: more than one map block");
             }
             in_map = true;
+            saw_map = true;
             continue;
         }
         const auto eq = t.find('=');
@@ -256,13 +300,18 @@ scenario::Scenario parse_scenario(const std::string& text) {
         }
         apply_key(s, st, trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
     }
-    if (!map_rows.empty()) apply_map(s, st, map_rows);
+    // A `map:` header with no rows is an authoring error, not a no-op —
+    // apply_map raises the documented "scenario: empty map".
+    if (saw_map) apply_map(s, st, map_rows);
     if (!s.sim.grid.tile_aligned()) {
         throw std::invalid_argument(
             "scenario: grid dimensions must be positive multiples of the "
             "16-cell tile edge");
     }
     scenario::canonicalize(s.sim.layout, s.sim.grid);
+    // Door rects can only be checked once the grid is final (a map block
+    // may define the dimensions after the door lines).
+    core::validate_doors(s.sim.doors, s.sim.grid);
     return s;
 }
 
@@ -317,6 +366,14 @@ std::string to_text_canonical(const scenario::Scenario& s) {
     for (const auto& r : sim.layout.spawns) {
         os << "spawn = " << group_name(r.group) << " " << r.row0 << " "
            << r.col0 << " " << r.row1 << " " << r.col1 << " " << r.count
+           << "\n";
+    }
+    // Door events round-trip in stored order (firing order is resolved by
+    // a stable sort at simulation setup, so order here is author intent).
+    for (const auto& e : sim.doors) {
+        os << "door = " << e.step << " "
+           << (e.action == core::DoorAction::kClose ? "close" : "open") << " "
+           << e.row0 << " " << e.col0 << " " << e.row1 << " " << e.col1
            << "\n";
     }
     if (!sim.layout.wall_cells.empty() ||

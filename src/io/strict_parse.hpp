@@ -1,0 +1,35 @@
+// Strict full-consumption numeric parsing shared by the CLI flag parser
+// and the scenario-file parser: the whole string must be one number.
+// Returns false on empty input, garbage, trailing text, or overflow —
+// callers attach their own context (flag name / scenario key).
+#pragma once
+
+#include <string>
+
+namespace pedsim::io {
+
+[[nodiscard]] inline bool strict_stoll(const std::string& s, long long& out) {
+    try {
+        std::size_t pos = 0;
+        const long long x = std::stoll(s, &pos);
+        if (pos != s.size()) return false;
+        out = x;
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+[[nodiscard]] inline bool strict_stod(const std::string& s, double& out) {
+    try {
+        std::size_t pos = 0;
+        const double x = std::stod(s, &pos);
+        if (pos != s.size()) return false;
+        out = x;
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+}  // namespace pedsim::io

@@ -139,6 +139,71 @@ Scenario panic_crossing() {
     return s;
 }
 
+/// A sealed chamber above a full-width wall; the single door opens at
+/// step 30 (the evacuation-alarm story of section VII, but with geometry
+/// instead of a behavioural flag). Until then every goal is walled off —
+/// the geodesic field is all-unreachable and the crowd piles against the
+/// wall under forward priority.
+Scenario timed_exit() {
+    Scenario s;
+    s.name = "timed_exit";
+    s.description =
+        "48x48 chamber sealed by a full-width wall; an 8-wide door opens "
+        "at step 30 and the crowd drains to the bottom edge";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    add_wall_rect(s.sim.layout, s.sim.grid, 24, 0, 25, 47);
+    s.sim.layout.spawns.push_back({grid::Group::kTop, 2, 2, 18, 45, 240});
+    s.sim.doors.push_back(
+        {30, 24, 20, 25, 27, core::DoorAction::kOpen});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 300;
+    return s;
+}
+
+/// The bottleneck corridor whose 16-wide gap slams shut in two stages:
+/// half at step 45, sealed at step 90. Agents caught mid-doorway are
+/// swept (retired); latecomers stay trapped on their side while agents
+/// already through keep crossing.
+Scenario closing_corridor() {
+    Scenario s;
+    s.name = "closing_corridor";
+    s.description =
+        "64x64 bidirectional corridor whose mid-grid doorway closes in two "
+        "stages (steps 45 and 90), trapping latecomers";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 200;
+    add_wall_rect(s.sim.layout, s.sim.grid, 31, 0, 32, 23);
+    add_wall_rect(s.sim.layout, s.sim.grid, 31, 40, 32, 63);
+    s.sim.doors.push_back(
+        {45, 31, 24, 32, 31, core::DoorAction::kClose});
+    s.sim.doors.push_back(
+        {90, 31, 32, 32, 39, core::DoorAction::kClose});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 300;
+    return s;
+}
+
+/// Staged evacuation: a packed hall above a full-width wall, three 8-wide
+/// doors opening in sequence (steps 30 / 70 / 110). ACO, so trails have
+/// to re-route as each new door changes the geodesic field.
+Scenario phased_evacuation() {
+    Scenario s;
+    s.name = "phased_evacuation";
+    s.description =
+        "64x64 hall sealed by a full-width wall; three 8-wide doors open "
+        "in sequence (steps 30, 70, 110), ACO routing";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.model = core::Model::kAco;
+    add_wall_rect(s.sim.layout, s.sim.grid, 30, 0, 31, 63);
+    s.sim.layout.spawns.push_back({grid::Group::kTop, 2, 2, 20, 61, 400});
+    s.sim.doors.push_back({30, 30, 8, 31, 15, core::DoorAction::kOpen});
+    s.sim.doors.push_back({70, 30, 28, 31, 35, core::DoorAction::kOpen});
+    s.sim.doors.push_back({110, 30, 48, 31, 55, core::DoorAction::kOpen});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 350;
+    return s;
+}
+
 using Builder = Scenario (*)();
 
 constexpr std::pair<const char*, Builder> kBuiltins[] = {
@@ -149,6 +214,9 @@ constexpr std::pair<const char*, Builder> kBuiltins[] = {
     {"narrowing_corridor", narrowing_corridor},
     {"room_evacuation", room_evacuation},
     {"panic_crossing", panic_crossing},
+    {"timed_exit", timed_exit},
+    {"closing_corridor", closing_corridor},
+    {"phased_evacuation", phased_evacuation},
 };
 
 }  // namespace

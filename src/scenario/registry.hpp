@@ -1,7 +1,9 @@
 // Built-in scenario library. The paper's corridor is the first entry; the
 // rest exercise the obstacle-aware machinery: a doorway bottleneck, a field
 // of pillars, a narrowing corridor, a room evacuation through a single door,
-// and a panic alarm mid-crossing (section VII's crisis emulation).
+// a panic alarm mid-crossing (section VII's crisis emulation), and three
+// dynamic-environment scenarios driven by timed door events (a timed exit,
+// a corridor that slams shut, a phased multi-door evacuation).
 #pragma once
 
 #include <string>

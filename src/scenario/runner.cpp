@@ -70,6 +70,7 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
     rec.model = model;
     rec.seed = seed;
     rec.steps = steps;
+    rec.door_events = static_cast<int>(cfg.doors.size());
     rec.result = sim->run(steps);
     rec.fingerprint = position_fingerprint(*sim);
     return rec;
@@ -130,15 +131,20 @@ std::vector<RunRecord> ScenarioRunner::run_registry() const {
 std::string ScenarioRunner::summary_table(
     const std::vector<RunRecord>& records) {
     io::TablePrinter table({"scenario", "engine", "model", "seed", "steps",
-                            "crossed", "moves", "conflicts", "wall_s",
-                            "modeled_s", "fingerprint"});
+                            "doors", "crossed", "moves", "conflicts",
+                            "wall_s", "steps_per_s", "modeled_s",
+                            "fingerprint"});
     for (const auto& r : records) {
         char fp[20];
         std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+        const double sps = r.result.wall_seconds > 0.0
+                               ? r.result.steps_run / r.result.wall_seconds
+                               : 0.0;
         table.add_row(
             {r.scenario, engine_name(r.engine),
              r.model == core::Model::kLem ? "lem" : "aco",
              std::to_string(r.seed), std::to_string(r.steps),
+             std::to_string(r.door_events),
              io::TablePrinter::integer(
                  static_cast<long long>(r.result.crossed_total())),
              io::TablePrinter::integer(
@@ -146,6 +152,7 @@ std::string ScenarioRunner::summary_table(
              io::TablePrinter::integer(
                  static_cast<long long>(r.result.total_conflicts)),
              io::TablePrinter::num(r.result.wall_seconds, 3),
+             io::TablePrinter::num(sps, 1),
              io::TablePrinter::num(r.result.modeled_device_seconds, 3), fp});
     }
     return table.str();

@@ -48,6 +48,9 @@ struct RunRecord {
     core::Model model = core::Model::kLem;
     std::uint64_t seed = 0;
     int steps = 0;
+    /// Timed door events in the run's config (the dynamic-environment
+    /// workload axis: throughput-vs-event-count comes from this column).
+    int door_events = 0;
     core::RunResult result;
     /// Position fingerprint of the final state; equal across engines for
     /// the same (scenario, model, seed, steps).

@@ -9,6 +9,7 @@
 // --threads 1 and --threads 4 via this hook.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <string>
@@ -49,8 +50,14 @@ std::vector<int> thread_counts() {
 
 /// Step budget per scenario: enough to see moves, conflicts, crossings and
 /// (for panic_crossing) the alarm, small enough to keep the suite quick.
+/// Door scenarios extend the budget past their last event, so every wall
+/// toggle and phase-field swap happens inside the compared window.
 int budget_for(const scenario::Scenario& s) {
-    return s.sim.grid.rows >= 256 ? 25 : 80;
+    int budget = s.sim.grid.rows >= 256 ? 25 : 80;
+    for (const auto& e : s.sim.doors) {
+        budget = std::max(budget, static_cast<int>(e.step) + 30);
+    }
+    return budget;
 }
 
 struct Trace {

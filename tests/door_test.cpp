@@ -1,0 +1,258 @@
+// Tests for timed door events: the DoorSchedule phase cache (fields equal
+// to freshly built ones, revisited configurations share one field), the
+// step-boundary application semantics (occupancy toggling, agents retired
+// by a closing door), and the behaviour of the door-driven registry
+// scenarios.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cpu_simulator.hpp"
+#include "core/door_schedule.hpp"
+#include "io/scenario_file.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace pedsim::core {
+namespace {
+
+/// 16x16 config with a full-width wall at rows 7-8 and one agent parked in
+/// the top-left corner (region spawns keep the rest of the grid empty).
+SimConfig walled_config() {
+    SimConfig cfg;
+    cfg.grid.rows = cfg.grid.cols = 16;
+    for (int r = 7; r <= 8; ++r) {
+        for (int c = 0; c < 16; ++c) {
+            cfg.layout.wall_cells.push_back(
+                static_cast<std::uint32_t>(r * 16 + c));
+        }
+    }
+    cfg.layout.spawns.push_back({grid::Group::kTop, 0, 0, 0, 0, 1});
+    return cfg;
+}
+
+// --- Validation --------------------------------------------------------------
+
+TEST(DoorValidation, RejectsOffGridAndInvertedRects) {
+    const grid::GridConfig g{16, 16};
+    EXPECT_NO_THROW(validate_doors({{0, 0, 0, 15, 15, DoorAction::kOpen}}, g));
+    // Off-grid.
+    EXPECT_THROW(validate_doors({{0, 0, 0, 16, 3, DoorAction::kOpen}}, g),
+                 std::invalid_argument);
+    EXPECT_THROW(validate_doors({{0, -1, 0, 3, 3, DoorAction::kClose}}, g),
+                 std::invalid_argument);
+    // Inverted rect.
+    EXPECT_THROW(validate_doors({{0, 5, 5, 4, 5, DoorAction::kOpen}}, g),
+                 std::invalid_argument);
+}
+
+// --- Phase cache -------------------------------------------------------------
+
+TEST(DoorSchedule, SortsEventsStablyByStep) {
+    SimConfig cfg = walled_config();
+    cfg.doors.push_back({20, 7, 0, 8, 3, DoorAction::kOpen});
+    cfg.doors.push_back({5, 7, 4, 8, 7, DoorAction::kOpen});
+    cfg.doors.push_back({5, 7, 8, 8, 11, DoorAction::kOpen});
+    const DoorSchedule sched(cfg);
+    ASSERT_EQ(sched.events().size(), 3u);
+    EXPECT_EQ(sched.events()[0].step, 5u);
+    EXPECT_EQ(sched.events()[0].col0, 4);  // config order kept within a step
+    EXPECT_EQ(sched.events()[1].step, 5u);
+    EXPECT_EQ(sched.events()[1].col0, 8);
+    EXPECT_EQ(sched.events()[2].step, 20u);
+}
+
+TEST(DoorSchedule, PhaseFieldsMatchFreshlyBuiltFields) {
+    SimConfig cfg = walled_config();
+    cfg.doors.push_back({5, 7, 4, 8, 7, DoorAction::kOpen});
+    cfg.doors.push_back({12, 7, 4, 8, 7, DoorAction::kClose});
+    cfg.doors.push_back({20, 3, 0, 4, 15, DoorAction::kClose});
+    const DoorSchedule sched(cfg);
+    for (std::size_t fired = 0; fired <= sched.events().size(); ++fired) {
+        const grid::DistanceField fresh(cfg.grid, sched.walls_after(fired),
+                                        cfg.layout.goal_cells);
+        const auto& cached = sched.field_after(fired);
+        ASSERT_TRUE(cached.geodesic());
+        for (const auto g : {grid::Group::kTop, grid::Group::kBottom}) {
+            for (int r = 0; r < cfg.grid.rows; ++r) {
+                for (int c = 0; c < cfg.grid.cols; ++c) {
+                    ASSERT_EQ(cached.geo(g, r, c), fresh.geo(g, r, c))
+                        << "fired=" << fired << " g="
+                        << (g == grid::Group::kTop ? "top" : "bottom")
+                        << " (" << r << "," << c << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(DoorSchedule, RevisitedConfigurationSharesOneField) {
+    SimConfig cfg = walled_config();
+    cfg.doors.push_back({5, 7, 4, 8, 7, DoorAction::kOpen});
+    cfg.doors.push_back({12, 7, 4, 8, 7, DoorAction::kClose});  // back shut
+    const DoorSchedule sched(cfg);
+    EXPECT_EQ(sched.walls_after(0), sched.walls_after(2));
+    EXPECT_EQ(&sched.field_after(0), &sched.field_after(2));
+    EXPECT_NE(&sched.field_after(0), &sched.field_after(1));
+    EXPECT_EQ(sched.field_count(), 2u);  // not 3: phase 2 reuses phase 0
+}
+
+TEST(DoorSchedule, NoDoorsDegeneratesToTheStaticChoice) {
+    // Empty corridor, no doors: the single cached field is the analytic
+    // table (seed path untouched).
+    SimConfig corridor;
+    const DoorSchedule analytic(corridor);
+    EXPECT_EQ(analytic.field_count(), 1u);
+    EXPECT_FALSE(analytic.field_after(0).geodesic());
+    // Walls without doors: one geodesic field, as in PR 1.
+    const DoorSchedule geodesic(walled_config());
+    EXPECT_EQ(geodesic.field_count(), 1u);
+    EXPECT_TRUE(geodesic.field_after(0).geodesic());
+    // Doors on a wall-free layout force geodesic mode from phase 0.
+    SimConfig doored;
+    doored.grid.rows = doored.grid.cols = 16;
+    doored.agents_per_side = 4;
+    doored.doors.push_back({5, 7, 0, 8, 15, DoorAction::kClose});
+    const DoorSchedule forced(doored);
+    EXPECT_TRUE(forced.field_after(0).geodesic());
+}
+
+// --- Step-boundary application ----------------------------------------------
+
+TEST(DoorEvents, ToggleEnvironmentOccupancyAtStepBoundaries) {
+    SimConfig cfg = walled_config();
+    cfg.doors.push_back({2, 7, 4, 8, 11, DoorAction::kOpen});
+    cfg.doors.push_back({5, 7, 4, 8, 11, DoorAction::kClose});
+    const auto sim = make_cpu_simulator(cfg);
+    EXPECT_EQ(sim->environment().wall_count(), 32u);
+
+    sim->run(2);  // steps 0 and 1: event at step 2 has not fired yet
+    EXPECT_EQ(sim->environment().wall_count(), 32u);
+    EXPECT_EQ(&sim->distance_field(), &sim->door_schedule().field_after(0));
+
+    sim->run(1);  // step 2 fires the open at its start
+    EXPECT_EQ(sim->environment().wall_count(), 16u);
+    EXPECT_TRUE(sim->environment().walkable(7, 4));
+    EXPECT_EQ(&sim->distance_field(), &sim->door_schedule().field_after(1));
+
+    sim->run(3);  // step 5 closes it again
+    EXPECT_EQ(sim->environment().wall_count(), 32u);
+    EXPECT_TRUE(sim->environment().is_wall(7, 4));
+    // The swapped-back field is the same object as the initial phase.
+    EXPECT_EQ(&sim->distance_field(), &sim->door_schedule().field_after(0));
+}
+
+TEST(DoorEvents, ClosingDoorRetiresOccupants) {
+    SimConfig cfg;
+    cfg.grid.rows = cfg.grid.cols = 16;
+    // Fill the 2x2 region completely, then close a door on it at step 0.
+    cfg.layout.spawns.push_back({grid::Group::kTop, 2, 2, 3, 3, 4});
+    cfg.doors.push_back({0, 2, 2, 3, 3, DoorAction::kClose});
+    const auto sim = make_cpu_simulator(cfg);
+    EXPECT_EQ(sim->environment().population(), 4u);
+
+    sim->run(1);
+    EXPECT_EQ(sim->door_retired(), 4u);
+    EXPECT_EQ(sim->environment().population(), 0u);
+    EXPECT_EQ(sim->environment().wall_count(), 4u);
+    const auto& props = sim->properties();
+    for (std::size_t i = 1; i < props.rows(); ++i) {
+        EXPECT_EQ(props.active[i], 0u) << i;
+        EXPECT_EQ(props.crossed[i], 0u) << i;
+    }
+}
+
+// --- Registry scenarios ------------------------------------------------------
+
+TEST(DoorScenarios, RegistryShipsTheDoorTrio) {
+    EXPECT_TRUE(scenario::has("timed_exit"));
+    EXPECT_TRUE(scenario::has("closing_corridor"));
+    EXPECT_TRUE(scenario::has("phased_evacuation"));
+    EXPECT_EQ(scenario::get("timed_exit").sim.doors.size(), 1u);
+    EXPECT_EQ(scenario::get("closing_corridor").sim.doors.size(), 2u);
+    EXPECT_EQ(scenario::get("phased_evacuation").sim.doors.size(), 3u);
+}
+
+TEST(DoorScenarios, TimedExitOnlyDrainsAfterTheDoorOpens) {
+    const auto s = scenario::get("timed_exit");
+    const auto sim = make_cpu_simulator(s.sim);
+    sim->run(30);  // door opens at the start of step 30
+    EXPECT_EQ(sim->crossed_total(grid::Group::kTop) +
+                  sim->crossed_total(grid::Group::kBottom),
+              0u);
+    sim->run(s.default_steps - 30);
+    const auto crossed = sim->crossed_total(grid::Group::kTop) +
+                         sim->crossed_total(grid::Group::kBottom);
+    EXPECT_GT(crossed, s.sim.total_agents() / 2);
+}
+
+TEST(DoorScenarios, ClosingCorridorConservesAgents) {
+    const auto s = scenario::get("closing_corridor");
+    const auto sim = make_cpu_simulator(s.sim);
+    const auto rr = sim->run(s.default_steps);
+    // Both close events fired: the 16-wide gap (2 rows deep) is sealed.
+    EXPECT_EQ(sim->environment().wall_count(),
+              s.sim.layout.wall_cells.size() + 32u);
+    // Every agent is on the grid, crossed, or was swept by a door.
+    EXPECT_EQ(sim->environment().population() + rr.crossed_total() +
+                  sim->door_retired(),
+              s.sim.total_agents());
+}
+
+TEST(DoorScenarios, PhasedEvacuationDrainsThroughStagedDoors) {
+    const auto s = scenario::get("phased_evacuation");
+    const auto sim = make_cpu_simulator(s.sim);
+    const auto rr = sim->run(s.default_steps);
+    EXPECT_GT(rr.crossed_total(), s.sim.total_agents() / 2);
+    EXPECT_EQ(sim->environment().population() + rr.crossed_total() +
+                  sim->door_retired(),
+              s.sim.total_agents());
+}
+
+// --- Scenario-file round trip ------------------------------------------------
+
+TEST(DoorScenarios, DoorLinesRoundTripThroughText) {
+    std::string text =
+        "name = doored\n"
+        "agents_per_side = 8\n"
+        "rows = 16\n"
+        "cols = 16\n"
+        "door = 5 close 7 0 8 15\n"
+        "door = 9 open 7 6 8 9\n";
+    const auto s = io::parse_scenario(text);
+    ASSERT_EQ(s.sim.doors.size(), 2u);
+    EXPECT_EQ(s.sim.doors[0],
+              (DoorEvent{5, 7, 0, 8, 15, DoorAction::kClose}));
+    EXPECT_EQ(s.sim.doors[1],
+              (DoorEvent{9, 7, 6, 8, 9, DoorAction::kOpen}));
+    const auto back = io::parse_scenario(io::scenario_to_text(s));
+    EXPECT_EQ(back, s);
+}
+
+TEST(DoorScenarios, ParserRejectsMalformedDoorLines) {
+    // Wrong arity.
+    EXPECT_THROW(io::parse_scenario("door = 5 close 7 0 8\n"),
+                 std::invalid_argument);
+    // Unknown action.
+    EXPECT_THROW(io::parse_scenario("door = 5 ajar 7 0 8 15\n"),
+                 std::invalid_argument);
+    // Non-numeric step.
+    EXPECT_THROW(io::parse_scenario("door = soon open 7 0 8 15\n"),
+                 std::invalid_argument);
+    // A negative step would wrap to a uint64 that never fires and cannot
+    // round-trip through the serializer.
+    EXPECT_THROW(io::parse_scenario("door = -5 open 7 0 8 15\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("panic = -5 32 32 10\n"),
+                 std::invalid_argument);
+    // Rect off the (default 480x480) grid.
+    EXPECT_THROW(io::parse_scenario("door = 5 open 0 0 480 3\n"),
+                 std::invalid_argument);
+    // Rect validated against the map-defined grid, not the default.
+    std::string text = "door = 5 open 0 0 17 3\nmap:\n";
+    for (int r = 0; r < 16; ++r) text += "................\n";
+    EXPECT_THROW(io::parse_scenario(text), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pedsim::core

@@ -135,6 +135,42 @@ TEST(Args, DefaultsWhenMissing) {
     EXPECT_TRUE(args.get_bool("x", true));
 }
 
+TEST(Args, RejectsTrailingGarbageInNumericFlags) {
+    // "--steps=100abc" used to silently parse as 100 via raw std::stoll.
+    const char* argv[] = {"prog", "--steps=100abc", "--rho=0.5x",
+                          "--threads=2q"};
+    ArgParser args(4, argv);
+    EXPECT_THROW(args.get_int("steps", 0), std::invalid_argument);
+    EXPECT_THROW(args.get_double("rho", 0.0), std::invalid_argument);
+    EXPECT_THROW(args.get_threads(), std::invalid_argument);
+}
+
+TEST(Args, RejectsNonNumericValuesNamingTheFlag) {
+    const char* argv[] = {"prog", "--steps=abc", "--rho=high"};
+    ArgParser args(3, argv);
+    try {
+        args.get_int("steps", 0);
+        FAIL() << "--steps=abc accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--steps"), std::string::npos)
+            << e.what();
+    }
+    try {
+        args.get_double("rho", 0.0);
+        FAIL() << "--rho=high accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--rho"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Args, StrictParseStillAcceptsFullNumbers) {
+    const char* argv[] = {"prog", "--steps=-7", "--rho=2.5e-1"};
+    ArgParser args(3, argv);
+    EXPECT_EQ(args.get_int("steps", 0), -7);
+    EXPECT_DOUBLE_EQ(args.get_double("rho", 0.0), 0.25);
+}
+
 TEST(Args, BoolParsing) {
     const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1", "--d=no"};
     ArgParser args(5, argv);

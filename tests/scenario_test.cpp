@@ -56,7 +56,7 @@ TEST(Registry, EveryScenarioConstructsOnTheCpuEngine) {
                   s.sim.layout.wall_cells.size())
             << s.name;
         EXPECT_EQ(sim->distance_field().geodesic(),
-                  s.sim.layout.needs_geodesic())
+                  s.sim.layout.needs_geodesic() || !s.sim.doors.empty())
             << s.name;
     }
 }
@@ -126,6 +126,38 @@ TEST(ScenarioFile, RejectsSecondMapBlock) {
     text += "\nmap:\n";
     for (int r = 0; r < 16; ++r) text += "................\n";
     EXPECT_THROW(io::parse_scenario(text), std::invalid_argument);
+}
+
+TEST(ScenarioFile, RejectsIndentedMapRows) {
+    // An indented map row used to be silently left-trimmed, shifting its
+    // walls left; it must be an explicit error instead.
+    std::string text = "map:\n";
+    for (int r = 0; r < 16; ++r) {
+        text += r == 5 ? "  ..............\n" : "................\n";
+    }
+    try {
+        io::parse_scenario(text);
+        FAIL() << "indented map row accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("flush-left"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Trailing whitespace / CR is still fine (editors add both).
+    std::string ok = "map:\n";
+    for (int r = 0; r < 16; ++r) {
+        ok += r == 5 ? "................  \r\n" : "................\n";
+    }
+    EXPECT_NO_THROW(io::parse_scenario(ok));
+}
+
+TEST(ScenarioFile, RejectsEmptyMapBlock) {
+    // `map:` at EOF with no rows.
+    EXPECT_THROW(io::parse_scenario("name = x\nmap:\n"),
+                 std::invalid_argument);
+    // `map:` immediately ended by a blank line, with keys after it.
+    EXPECT_THROW(io::parse_scenario("map:\n\nname = x\n"),
+                 std::invalid_argument);
 }
 
 TEST(ScenarioFile, RejectsMalformedInput) {
