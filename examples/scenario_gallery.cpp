@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "core/cpu_simulator.hpp"
+#include "core/door_schedule.hpp"
 #include "io/args.hpp"
 #include "io/ascii_render.hpp"
 #include "io/scenario_file.hpp"
@@ -42,13 +43,20 @@ int main(int argc, char** argv) {
         s.sim.exec.threads = args.get_threads();
         std::printf("=== %s ===\n%s\n", s.name.c_str(),
                     s.description.c_str());
+        // Event count is post-expansion: a cycle or mover contributes
+        // every open/close it will fire, not one authored line.
+        const auto expanded = core::expand_dynamic_events(
+            s.sim.doors, s.sim.cycles, s.sim.movers, s.sim.grid);
         std::printf(
             "grid %dx%d, %zu agents, model %s, seed %llu, %d default "
-            "steps, %zu wall cells, %zu door events\n",
+            "steps, %zu wall cells, %zu wall events (%zu doors, %zu "
+            "cycles, %zu movers), anticipate %d\n",
             s.sim.grid.rows, s.sim.grid.cols, s.sim.total_agents(),
             s.sim.model == core::Model::kLem ? "lem" : "aco",
             static_cast<unsigned long long>(s.sim.seed), s.default_steps,
-            s.sim.layout.wall_cells.size(), s.sim.doors.size());
+            s.sim.layout.wall_cells.size(), expanded.size(),
+            s.sim.doors.size(), s.sim.cycles.size(), s.sim.movers.size(),
+            s.sim.anticipate.horizon);
 
         // Walls + placement by default; --preview steps the crowd forward
         // on the (exec-policy-aware) CPU engine before rendering.

@@ -91,6 +91,64 @@ struct DoorEvent {
     bool operator==(const DoorEvent&) const = default;
 };
 
+/// Periodic door: the inclusive rect [row0, row1] x [col0, col1] opens at
+/// step `start + k * period` and closes again `duty` steps later, for k in
+/// [0, repeats). Authored as a compact cycle, expanded into plain
+/// DoorEvents at setup (expand_dynamic_events), so the step-pure event
+/// contract of docs/PARALLELISM.md is untouched. The run alternates
+/// between exactly two wall configurations, which the DoorSchedule phase
+/// cache dedupes — a cycle costs O(2) precomputed fields no matter how
+/// many repeats it has. Requires 0 < duty < period and repeats >= 1.
+struct CycleEvent {
+    std::uint64_t start = 0;    ///< step of the first open
+    std::uint64_t period = 2;   ///< steps between consecutive opens
+    std::uint64_t duty = 1;     ///< steps the rect stays open per period
+    int row0 = 0;
+    int col0 = 0;
+    int row1 = 0;
+    int col1 = 0;
+    std::uint64_t repeats = 1;  ///< open/close pairs to expand
+
+    bool operator==(const CycleEvent&) const = default;
+};
+
+/// Moving wall: the inclusive rect translates by (drow, dcol) — one cell
+/// per firing — at steps `start + k * interval` for k in [0, count)
+/// (conveyor / train-platform workloads). Each firing expands into an
+/// open of the old position followed by a close of the new one, so agents
+/// on the leading edge are swept (retired) exactly like any closing door
+/// and the step-pure contract holds. Every translated position must stay
+/// on the grid; (drow, dcol) is a unit king move. Unlike cycles, each
+/// firing visits a fresh wall configuration, so a mover costs O(count)
+/// precomputed fields.
+struct MoverEvent {
+    std::uint64_t start = 0;     ///< step of the first translation
+    std::uint64_t interval = 1;  ///< steps between translations
+    int drow = 0;                ///< per-firing translation, in {-1, 0, 1}
+    int dcol = 0;                ///< not both zero
+    int row0 = 0;                ///< initial position (usually painted as
+    int col0 = 0;                ///<   layout walls; open on non-wall
+    int row1 = 0;                ///<   cells is a no-op, so an unpainted
+    int col1 = 0;                ///<   start simply materializes the wall)
+    std::uint64_t count = 1;     ///< number of one-cell translations
+
+    bool operator==(const MoverEvent&) const = default;
+};
+
+/// Anticipatory routing: within `horizon` steps of the next door event,
+/// candidate scoring blends the current and next phase's distance fields
+/// (convex combination, weight ramping toward the next phase as the event
+/// nears), so crowds pre-stage at doors about to open. Horizon 0 disables
+/// blending entirely — the hot path reads the current field unblended and
+/// existing scenarios stay bit-exact. Blending is a pure function of the
+/// step counter, so CPU-vs-SIMT and any-thread-count parity hold with it
+/// enabled. Crossing tests always use the real (unblended) field.
+struct AnticipateConfig {
+    int horizon = 0;  ///< steps of look-ahead; 0 = off (seed behaviour)
+
+    bool operator==(const AnticipateConfig&) const = default;
+};
+
 /// Heterogeneous walking speeds (future work: "velocity and size of the
 /// pedestrians are kept constant in all the simulations"). A seeded
 /// fraction of agents is slow: they propose a move only every
@@ -164,6 +222,16 @@ struct SimConfig {
     /// field per distinct wall configuration, precomputed at setup, so a
     /// mid-run event is a pointer swap — never a Dijkstra rebuild.
     std::vector<DoorEvent> doors;
+
+    /// Periodic doors and moving walls, expanded into the door-event
+    /// stream at setup (core::expand_dynamic_events) — by the time an
+    /// engine steps, the run is a plain sorted DoorEvent sequence.
+    std::vector<CycleEvent> cycles;
+    std::vector<MoverEvent> movers;
+
+    /// Anticipatory routing toward the next door event's distance field;
+    /// horizon 0 (default) keeps the hot path unblended and bit-exact.
+    AnticipateConfig anticipate;
 
     /// Scenario geometry (walls, goals, spawn regions); the default empty
     /// layout is the paper's corridor.

@@ -6,24 +6,133 @@
 
 namespace pedsim::core {
 
+namespace {
+
+/// Expansion ceiling per cycle/mover: scenario files carry full-uint64
+/// counters, and a typo'd repeats/count would otherwise materialize
+/// billions of DoorEvents at parse time (and, for movers, wrap the
+/// int-typed final-position bounds check). 2^15 firings is far beyond any
+/// plausible run length while keeping one authored line's expansion small.
+constexpr std::uint64_t kMaxFirings = 1u << 15;
+
+/// Step ceiling for cycle/mover parameters: the expansion computes
+/// `start + k * period (+ duty)` in uint64, and scenario files accept
+/// full-range counters — unchecked, a huge start/period wraps and emits
+/// a close event near step 0 with no matching open. With start, period
+/// and interval below 2^32 and k below kMaxFirings, every expanded step
+/// stays under 2^48: no wrap, and still beyond any reachable run length.
+constexpr std::uint64_t kMaxEventStep = 1ull << 32;
+
+void check_rect(const std::string& label, int row0, int col0, int row1,
+                int col1, const grid::GridConfig& grid) {
+    if (row0 < 0 || col0 < 0 || row1 < row0 || col1 < col0 ||
+        row1 >= grid.rows || col1 >= grid.cols) {
+        throw std::invalid_argument(
+            label + ": rect out of bounds for " + std::to_string(grid.rows) +
+            "x" + std::to_string(grid.cols) + " grid");
+    }
+}
+
+}  // namespace
+
 void validate_doors(const std::vector<DoorEvent>& doors,
                     const grid::GridConfig& grid) {
     for (std::size_t k = 0; k < doors.size(); ++k) {
         const auto& e = doors[k];
-        if (e.row0 < 0 || e.col0 < 0 || e.row1 < e.row0 || e.col1 < e.col0 ||
-            e.row1 >= grid.rows || e.col1 >= grid.cols) {
-            throw std::invalid_argument(
-                "door event " + std::to_string(k) + " (step " +
-                std::to_string(e.step) + "): rect out of bounds for " +
-                std::to_string(grid.rows) + "x" + std::to_string(grid.cols) +
-                " grid");
-        }
+        check_rect("door event " + std::to_string(k) + " (step " +
+                       std::to_string(e.step) + ")",
+                   e.row0, e.col0, e.row1, e.col1, grid);
     }
 }
 
+std::vector<DoorEvent> expand_dynamic_events(
+    const std::vector<DoorEvent>& doors,
+    const std::vector<CycleEvent>& cycles,
+    const std::vector<MoverEvent>& movers, const grid::GridConfig& grid) {
+    validate_doors(doors, grid);
+    std::vector<DoorEvent> out = doors;
+
+    for (std::size_t k = 0; k < cycles.size(); ++k) {
+        const auto& cy = cycles[k];
+        check_rect("cycle event " + std::to_string(k), cy.row0, cy.col0,
+                   cy.row1, cy.col1, grid);
+        if (cy.period == 0 || cy.duty == 0 || cy.duty >= cy.period ||
+            cy.repeats == 0) {
+            throw std::invalid_argument(
+                "cycle event " + std::to_string(k) +
+                ": needs 0 < duty < period and repeats >= 1");
+        }
+        if (cy.repeats > kMaxFirings) {
+            throw std::invalid_argument(
+                "cycle event " + std::to_string(k) + ": repeats " +
+                std::to_string(cy.repeats) + " exceeds the expansion "
+                "ceiling of " + std::to_string(kMaxFirings));
+        }
+        if (cy.start > kMaxEventStep || cy.period > kMaxEventStep) {
+            throw std::invalid_argument(
+                "cycle event " + std::to_string(k) +
+                ": start/period exceed the step ceiling of 2^32");
+        }
+        for (std::uint64_t i = 0; i < cy.repeats; ++i) {
+            const std::uint64_t open_step = cy.start + i * cy.period;
+            out.push_back({open_step, cy.row0, cy.col0, cy.row1, cy.col1,
+                           DoorAction::kOpen});
+            out.push_back({open_step + cy.duty, cy.row0, cy.col0, cy.row1,
+                           cy.col1, DoorAction::kClose});
+        }
+    }
+
+    for (std::size_t k = 0; k < movers.size(); ++k) {
+        const auto& mv = movers[k];
+        if (mv.interval == 0 || mv.count == 0 || mv.drow < -1 ||
+            mv.drow > 1 || mv.dcol < -1 || mv.dcol > 1 ||
+            (mv.drow == 0 && mv.dcol == 0)) {
+            throw std::invalid_argument(
+                "mover event " + std::to_string(k) +
+                ": needs interval >= 1, count >= 1, and a unit king-move "
+                "(drow, dcol)");
+        }
+        if (mv.count > kMaxFirings) {
+            throw std::invalid_argument(
+                "mover event " + std::to_string(k) + ": count " +
+                std::to_string(mv.count) + " exceeds the expansion "
+                "ceiling of " + std::to_string(kMaxFirings));
+        }
+        if (mv.start > kMaxEventStep || mv.interval > kMaxEventStep) {
+            throw std::invalid_argument(
+                "mover event " + std::to_string(k) +
+                ": start/interval exceed the step ceiling of 2^32");
+        }
+        // Translation is monotone, so checking the first and last
+        // positions bounds every intermediate one. (count is below
+        // kMaxFirings here, so the int cast cannot wrap.)
+        const std::string label = "mover event " + std::to_string(k);
+        check_rect(label, mv.row0, mv.col0, mv.row1, mv.col1, grid);
+        const auto n = static_cast<int>(mv.count);
+        check_rect(label + " (final position)", mv.row0 + n * mv.drow,
+                   mv.col0 + n * mv.dcol, mv.row1 + n * mv.drow,
+                   mv.col1 + n * mv.dcol, grid);
+        for (std::uint64_t i = 0; i < mv.count; ++i) {
+            const std::uint64_t step = mv.start + i * mv.interval;
+            const auto p = static_cast<int>(i);
+            // Open the vacated position first, then close the translated
+            // one: the one-cell overlap re-closes, and agents under the
+            // leading edge are swept like any closing door.
+            out.push_back({step, mv.row0 + p * mv.drow,
+                           mv.col0 + p * mv.dcol, mv.row1 + p * mv.drow,
+                           mv.col1 + p * mv.dcol, DoorAction::kOpen});
+            out.push_back({step, mv.row0 + (p + 1) * mv.drow,
+                           mv.col0 + (p + 1) * mv.dcol,
+                           mv.row1 + (p + 1) * mv.drow,
+                           mv.col1 + (p + 1) * mv.dcol, DoorAction::kClose});
+        }
+    }
+    return out;
+}
+
 DoorSchedule::DoorSchedule(const SimConfig& config) {
-    validate_doors(config.doors, config.grid);
-    events_ = config.doors;
+    events_ = expand_dynamic_events(config.doors, config.cycles,
+                                    config.movers, config.grid);
     std::stable_sort(events_.begin(), events_.end(),
                      [](const DoorEvent& a, const DoorEvent& b) {
                          return a.step < b.step;

@@ -25,12 +25,28 @@ namespace pedsim::core {
 void validate_doors(const std::vector<DoorEvent>& doors,
                     const grid::GridConfig& grid);
 
+/// Expand the authored dynamic geometry (plain doors, periodic cycles,
+/// moving walls) into one flat DoorEvent list, validating every rect and
+/// parameter (throws std::invalid_argument naming the offending event).
+/// Cycles expand to an open at `start + k * period` and a close `duty`
+/// steps later; movers expand each firing to an open of the old position
+/// followed by a close of the translated one (same step, in that order,
+/// so the overlap of the two rects ends up closed). The list is returned
+/// in authored order (doors, then cycles, then movers); DoorSchedule
+/// stable-sorts it by step, so same-step expanded events keep exactly
+/// that relative order.
+std::vector<DoorEvent> expand_dynamic_events(
+    const std::vector<DoorEvent>& doors,
+    const std::vector<CycleEvent>& cycles,
+    const std::vector<MoverEvent>& movers, const grid::GridConfig& grid);
+
 class DoorSchedule {
   public:
     explicit DoorSchedule(const SimConfig& config);
 
-    /// Events in firing order: stable-sorted by step, so same-step events
-    /// apply in their SimConfig::doors order.
+    /// Expanded events (doors + cycle and mover expansions) in firing
+    /// order: stable-sorted by step, so same-step events apply in their
+    /// authored order (doors first, then cycles, then movers).
     [[nodiscard]] const std::vector<DoorEvent>& events() const {
         return events_;
     }

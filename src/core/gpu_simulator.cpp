@@ -215,7 +215,7 @@ void GpuSimulator::stage_initial_calc() {
             ctx.instr(16);  // eq. (1)/(2) arithmetic per candidate batch
             int n;
             if (config_.model == Model::kLem) {
-                n = build_candidates_lem_t(tile_empty, *df_, g, r, c,
+                n = build_candidates_lem_t(tile_empty, blend_, g, r, c,
                                            out_values, out_cells);
             } else {
                 auto tile_tau = [&](int nr, int nc) {
@@ -227,7 +227,7 @@ void GpuSimulator::stage_initial_calc() {
                     return tile.at(nr - ctx.block_idx.y * simt::kTileEdge,
                                    nc - ctx.block_idx.x * simt::kTileEdge);
                 };
-                n = build_candidates_aco_t(tile_empty, tile_tau, *df_,
+                n = build_candidates_aco_t(tile_empty, tile_tau, blend_,
                                            config_.aco, g, r, c, out_values,
                                            out_cells);
             }

@@ -4,25 +4,6 @@
 
 namespace pedsim::core {
 
-int build_candidates_lem(const grid::Environment& env,
-                         const grid::DistanceField& df, grid::Group g, int r,
-                         int c, double* values, std::int8_t* cells) {
-    return build_candidates_lem_t(
-        [&](int nr, int nc) { return env.walkable(nr, nc); }, df, g, r,
-        c, values, cells);
-}
-
-int build_candidates_aco(const grid::Environment& env,
-                         const grid::DistanceField& df,
-                         const PheromoneField& pher, const AcoParams& params,
-                         grid::Group g, int r, int c, double* values,
-                         std::int8_t* cells) {
-    return build_candidates_aco_t(
-        [&](int nr, int nc) { return env.walkable(nr, nc); },
-        [&](int nr, int nc) { return pher.at(g, nr, nc); }, df, params, g, r,
-        c, values, cells);
-}
-
 int select_lem(rng::Stream& stream, int candidate_count, double sigma) {
     return rng::lem_rank_draw(stream, candidate_count, sigma);
 }

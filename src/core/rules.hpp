@@ -30,6 +30,10 @@ inline constexpr double kMinHeuristicDistance = 0.5;
 /// The templated builders abstract where occupancy/pheromone are read
 /// from: the CPU engine passes environment-backed callables, the GPU-style
 /// engine passes shared-memory tile views. Both produce identical values.
+/// The field parameter accepts anything with DistanceField's cost()
+/// contract — the engines pass a grid::BlendedField so anticipatory
+/// routing (door events blending toward the next phase) flows through
+/// every builder without touching them.
 ///
 /// LEM flavour: value = distance of the candidate to the target, sorted
 /// ascending — the paper's sorted scan row. In the analytic field the
@@ -38,8 +42,8 @@ inline constexpr double kMinHeuristicDistance = 0.5;
 /// corridor); in a geodesic field obstacles can reorder neighbours, and
 /// the sort restores the rank-draw's "slot 0 = least effort" contract.
 /// `empty(r, c)` -> true when the cell is in bounds and unoccupied.
-template <typename EmptyFn>
-int build_candidates_lem_t(EmptyFn&& empty, const grid::DistanceField& df,
+template <typename EmptyFn, typename Field>
+int build_candidates_lem_t(EmptyFn&& empty, const Field& df,
                            grid::Group g, int r, int c, double* values,
                            std::int8_t* cells) {
     int n = 0;
@@ -66,9 +70,9 @@ int build_candidates_lem_t(EmptyFn&& empty, const grid::DistanceField& df,
 /// ACO flavour: value = tau(candidate)^alpha * (1/D)^beta — the numerator
 /// of eq. (2) with the goal heuristic substituted for inter-city distance.
 /// `tau(r, c)` reads the agent's own group's pheromone field.
-template <typename EmptyFn, typename TauFn>
+template <typename EmptyFn, typename TauFn, typename Field>
 int build_candidates_aco_t(EmptyFn&& empty, TauFn&& tau,
-                           const grid::DistanceField& df,
+                           const Field& df,
                            const AcoParams& params, grid::Group g, int r,
                            int c, double* values, std::int8_t* cells) {
     int n = 0;
@@ -110,9 +114,9 @@ double ray_congestion(EmptyFn&& empty, int nr, int nc, int dr, int dc,
 /// LEM candidates with the scanning-range look-ahead: effort = distance *
 /// (1 + w * congestion), insertion-sorted ascending (stable, so range = 1
 /// degenerates to the plain builder's ordering).
-template <typename EmptyFn>
+template <typename EmptyFn, typename Field>
 int build_candidates_lem_scan_t(EmptyFn&& empty,
-                                const grid::DistanceField& df,
+                                const Field& df,
                                 const ScanConfig& scan,
                                 const grid::GridConfig& gcfg, grid::Group g,
                                 int r, int c, double* values,
@@ -143,9 +147,9 @@ int build_candidates_lem_scan_t(EmptyFn&& empty,
 
 /// ACO candidates with the look-ahead: the eq. (2) numerator is discounted
 /// by the visible congestion beyond each candidate.
-template <typename EmptyFn, typename TauFn>
+template <typename EmptyFn, typename TauFn, typename Field>
 int build_candidates_aco_scan_t(EmptyFn&& empty, TauFn&& tau,
-                                const grid::DistanceField& df,
+                                const Field& df,
                                 const AcoParams& params,
                                 const ScanConfig& scan,
                                 const grid::GridConfig& gcfg, grid::Group g,
@@ -193,17 +197,6 @@ int build_candidates_flee_t(EmptyFn&& empty, const PanicConfig& panic,
     }
     return n;
 }
-
-/// Environment-backed convenience wrappers (CPU reference engine).
-int build_candidates_lem(const grid::Environment& env,
-                         const grid::DistanceField& df, grid::Group g, int r,
-                         int c, double* values, std::int8_t* cells);
-
-int build_candidates_aco(const grid::Environment& env,
-                         const grid::DistanceField& df,
-                         const PheromoneField& pher, const AcoParams& params,
-                         grid::Group g, int r, int c, double* values,
-                         std::int8_t* cells);
 
 /// LEM selection (section IV.c): rounded-normal rank draw over the
 /// distance-ascending candidates. Returns the chosen slot.

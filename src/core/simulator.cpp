@@ -33,6 +33,7 @@ Simulator::Simulator(const SimConfig& config)
       env_(config.grid),
       doors_(config_),
       df_(&doors_.field_after(0)),
+      blend_(df_),
       placed_(init_agents(env_, config_)),
       props_(placed_),
       scan_(placed_.size()) {
@@ -60,23 +61,23 @@ int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
     }
     if (config_.model == Model::kLem) {
         if (config_.scan.range > 1) {
-            return build_candidates_lem_scan_t(empty, *df_, config_.scan,
+            return build_candidates_lem_scan_t(empty, blend_, config_.scan,
                                                config_.grid, g, r, c,
                                                scan_.values(i),
                                                scan_.cells(i));
         }
-        return build_candidates_lem(env_, *df_, g, r, c, scan_.values(i),
-                                    scan_.cells(i));
+        return build_candidates_lem_t(empty, blend_, g, r, c,
+                                      scan_.values(i), scan_.cells(i));
     }
     auto tau = [&](int rr, int cc) { return pher_->at(g, rr, cc); };
     if (config_.scan.range > 1) {
-        return build_candidates_aco_scan_t(empty, tau, *df_, config_.aco,
+        return build_candidates_aco_scan_t(empty, tau, blend_, config_.aco,
                                            config_.scan, config_.grid, g, r,
                                            c, scan_.values(i),
                                            scan_.cells(i));
     }
-    return build_candidates_aco(env_, *df_, *pher_, config_.aco, g, r, c,
-                                scan_.values(i), scan_.cells(i));
+    return build_candidates_aco_t(empty, tau, blend_, config_.aco, g, r, c,
+                                  scan_.values(i), scan_.cells(i));
 }
 
 bool Simulator::decide_future(std::int32_t i) {
@@ -150,6 +151,30 @@ void Simulator::fire_due_doors() {
     df_ = &doors_.field_after(next_door_);
 }
 
+void Simulator::update_anticipation() {
+    blend_ = grid::BlendedField(df_);
+    const int horizon = config_.anticipate.horizon;
+    if (horizon <= 0) return;
+    const auto& events = doors_.events();
+    if (next_door_ >= events.size()) return;
+    // fire_due_doors already applied everything due, so the next event is
+    // strictly in the future: remaining >= 1.
+    const std::uint64_t next_step = events[next_door_].step;
+    const std::uint64_t remaining = next_step - step_;
+    if (remaining > static_cast<std::uint64_t>(horizon)) return;
+    // The next phase is the configuration after ALL events of that step.
+    std::size_t j = next_door_;
+    while (j < events.size() && events[j].step == next_step) ++j;
+    const grid::DistanceField* next = &doors_.field_after(j);
+    if (next == df_) return;  // revisited configuration: nothing to blend
+    // Weight ramps from 1/(horizon+1) at the horizon edge to
+    // horizon/(horizon+1) one step before the event — never 0 or 1, so
+    // both phases always contribute inside the window.
+    const double weight = 1.0 - static_cast<double>(remaining) /
+                                    (static_cast<double>(horizon) + 1.0);
+    blend_ = grid::BlendedField(df_, next, weight);
+}
+
 void Simulator::apply_door(const DoorEvent& event) {
     for (int r = event.row0; r <= event.row1; ++r) {
         for (int c = event.col0; c <= event.col1; ++c) {
@@ -180,6 +205,7 @@ StepResult Simulator::step() {
     // halo tiles) from env_ every launch, so the new kWallOcc cells flow
     // into both engines identically.
     fire_due_doors();
+    update_anticipation();
 
     stage_reset();
     stage_initial_calc();

@@ -84,6 +84,13 @@ class Simulator {
     }
     /// The door-event schedule and its phase-cached fields.
     [[nodiscard]] const DoorSchedule& door_schedule() const { return doors_; }
+    /// The candidate-scoring view in effect this step: the current phase
+    /// field, blended toward the next phase within the anticipation
+    /// horizon (AnticipateConfig); identical to distance_field() when not
+    /// blending.
+    [[nodiscard]] const grid::BlendedField& scoring_field() const {
+        return blend_;
+    }
     /// Agents removed because a door closed on their cell.
     [[nodiscard]] std::size_t door_retired() const { return door_retired_; }
     /// Null for LEM runs.
@@ -136,6 +143,10 @@ class Simulator {
     /// points at the phase currently in effect.
     DoorSchedule doors_;
     const grid::DistanceField* df_;
+    /// Candidate-scoring view over df_ (plus, inside the anticipation
+    /// horizon, the next phase's field). Updated on the host thread at
+    /// each step boundary; stages only read it.
+    grid::BlendedField blend_;
     std::vector<grid::PlacedAgent> placed_;
     PropertyTable props_;
     ScanMatrix scan_;
@@ -153,6 +164,11 @@ class Simulator {
     /// both engines (and every thread count) see identical geometry.
     void fire_due_doors();
     void apply_door(const DoorEvent& event);
+    /// Recompute blend_ for the current step: unblended outside the
+    /// anticipation horizon, else a convex combination whose weight ramps
+    /// toward the next phase as its event nears. Pure in step_, so every
+    /// engine and thread count sees the same scoring field.
+    void update_anticipation();
 
     std::size_t next_door_ = 0;
     std::size_t door_retired_ = 0;

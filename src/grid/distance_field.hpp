@@ -100,6 +100,17 @@ class DistanceField {
         return geo(g, r, c) < static_cast<double>(margin);
     }
 
+    /// Finite stand-in for kUnreachable when two fields are blended (see
+    /// BlendedField): any real geodesic distance on this grid is below
+    /// 2 * cell_count (a path visits each walkable cell at most once at
+    /// step cost <= sqrt 2), so capping at it preserves every ordering
+    /// among reachable cells while keeping sealed-off cells orderable by
+    /// the other phase's field — 1e30 would swallow the blend partner in
+    /// double rounding.
+    [[nodiscard]] double blend_cap() const {
+        return 2.0 * static_cast<double>(config_.cell_count());
+    }
+
   private:
     void build_geodesic(Group g, const std::vector<std::uint32_t>& walls,
                         const std::vector<std::uint32_t>& goals);
@@ -113,6 +124,45 @@ class DistanceField {
     std::array<std::vector<std::array<double, 2>>, 2> table_;
     // Geodesic: [group][flat cell] -> distance to the nearest goal cell.
     std::array<std::vector<double>, 2> geo_;
+};
+
+/// Hot-path cost view for anticipatory routing: the current phase's field,
+/// optionally blended with the NEXT phase's field as a door event nears
+/// (convex combination with weight `w` on the next phase). With no next
+/// field the lookup forwards to the current field untouched — bit-exact
+/// with the pre-anticipation path — so engines can route every candidate
+/// lookup through one view. Blending clamps kUnreachable to the field's
+/// finite blend_cap() first; sealed-off cells (all equally unreachable
+/// now) then order by the upcoming phase's distances, which is exactly
+/// the pre-staging behaviour anticipation wants. Crossing tests must keep
+/// using the real DistanceField — this view scores candidates only.
+class BlendedField {
+  public:
+    BlendedField() = default;
+    explicit BlendedField(const DistanceField* now) : now_(now) {}
+    BlendedField(const DistanceField* now, const DistanceField* next,
+                 double weight)
+        : now_(now), next_(next), weight_(weight) {}
+
+    [[nodiscard]] bool blending() const { return next_ != nullptr; }
+    [[nodiscard]] double weight() const { return weight_; }
+
+    /// Candidate cost of cell (r, c) for an agent displaced dc laterally —
+    /// same contract as DistanceField::cost.
+    [[nodiscard]] double cost(Group g, int r, int c, int dc) const {
+        const double base = now_->cost(g, r, c, dc);
+        if (next_ == nullptr) return base;
+        const double cap = now_->blend_cap();
+        const double a = base < cap ? base : cap;
+        const double b0 = next_->cost(g, r, c, dc);
+        const double b = b0 < cap ? b0 : cap;
+        return (1.0 - weight_) * a + weight_ * b;
+    }
+
+  private:
+    const DistanceField* now_ = nullptr;
+    const DistanceField* next_ = nullptr;
+    double weight_ = 0.0;
 };
 
 }  // namespace pedsim::grid

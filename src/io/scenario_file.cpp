@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -35,6 +36,28 @@ long long to_int(const std::string& key, const std::string& v) {
                                     ": '" + v + "'");
     }
     return x;
+}
+
+/// Rect coordinates, translations and horizons are ints: a value outside
+/// int range would otherwise narrow-cast to a wrapped coordinate that can
+/// pass grid validation and land an event on the wrong cells.
+int to_int32(const std::string& key, const std::string& v) {
+    const long long x = to_int(key, v);
+    if (x < std::numeric_limits<int>::min() ||
+        x > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument("scenario: " + key +
+                                    " value out of int range: '" + v + "'");
+    }
+    return static_cast<int>(x);
+}
+
+std::uint64_t to_uint64(const std::string& key, const std::string& v) {
+    unsigned long long x = 0;
+    if (!strict_stoull(v, x)) {
+        throw std::invalid_argument("scenario: bad unsigned integer for " +
+                                    key + ": '" + v + "'");
+    }
+    return static_cast<std::uint64_t>(x);
 }
 
 double to_double(const std::string& key, const std::string& v) {
@@ -112,7 +135,9 @@ void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
                                         "'");
         }
     } else if (key == "seed") {
-        sim.seed = static_cast<std::uint64_t>(to_int(key, value));
+        // Full 64-bit range: the serializer emits seeds verbatim, and the
+        // property suite generates them above int64 max.
+        sim.seed = to_uint64(key, value);
     } else if (key == "agents_per_side") {
         sim.agents_per_side = static_cast<std::size_t>(to_int(key, value));
     } else if (key == "band_rows") {
@@ -175,11 +200,54 @@ void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
                 "scenario: door action must be open|close, got '" + f[1] +
                 "'");
         }
-        e.row0 = static_cast<int>(to_int(key, f[2]));
-        e.col0 = static_cast<int>(to_int(key, f[3]));
-        e.row1 = static_cast<int>(to_int(key, f[4]));
-        e.col1 = static_cast<int>(to_int(key, f[5]));
+        e.row0 = to_int32(key, f[2]);
+        e.col0 = to_int32(key, f[3]);
+        e.row1 = to_int32(key, f[4]);
+        e.col1 = to_int32(key, f[5]);
         sim.doors.push_back(e);
+    } else if (key == "cycle") {
+        const auto f = split_ws(value);
+        if (f.size() != 8) {
+            throw std::invalid_argument(
+                "scenario: cycle wants 'start period duty repeats row0 col0 "
+                "row1 col1'");
+        }
+        core::CycleEvent e;
+        e.start = to_step(key, f[0]);
+        e.period = to_step(key, f[1]);
+        e.duty = to_step(key, f[2]);
+        e.repeats = to_step(key, f[3]);
+        e.row0 = to_int32(key, f[4]);
+        e.col0 = to_int32(key, f[5]);
+        e.row1 = to_int32(key, f[6]);
+        e.col1 = to_int32(key, f[7]);
+        sim.cycles.push_back(e);
+    } else if (key == "mover") {
+        const auto f = split_ws(value);
+        if (f.size() != 9) {
+            throw std::invalid_argument(
+                "scenario: mover wants 'start interval count drow dcol row0 "
+                "col0 row1 col1'");
+        }
+        core::MoverEvent e;
+        e.start = to_step(key, f[0]);
+        e.interval = to_step(key, f[1]);
+        e.count = to_step(key, f[2]);
+        e.drow = to_int32(key, f[3]);
+        e.dcol = to_int32(key, f[4]);
+        e.row0 = to_int32(key, f[5]);
+        e.col0 = to_int32(key, f[6]);
+        e.row1 = to_int32(key, f[7]);
+        e.col1 = to_int32(key, f[8]);
+        sim.movers.push_back(e);
+    } else if (key == "anticipate") {
+        const int h = to_int32(key, value);
+        if (h < 0) {
+            throw std::invalid_argument(
+                "scenario: anticipate horizon must be non-negative: '" +
+                value + "'");
+        }
+        sim.anticipate.horizon = h;
     } else if (key == "spawn") {
         const auto f = split_ws(value);
         if (f.size() != 6) {
@@ -309,9 +377,12 @@ scenario::Scenario parse_scenario(const std::string& text) {
             "16-cell tile edge");
     }
     scenario::canonicalize(s.sim.layout, s.sim.grid);
-    // Door rects can only be checked once the grid is final (a map block
-    // may define the dimensions after the door lines).
-    core::validate_doors(s.sim.doors, s.sim.grid);
+    // Dynamic-geometry rects and parameters can only be checked once the
+    // grid is final (a map block may define the dimensions after the
+    // door/cycle/mover lines); the expansion is discarded — the engines
+    // redo it at setup.
+    core::expand_dynamic_events(s.sim.doors, s.sim.cycles, s.sim.movers,
+                                s.sim.grid);
     return s;
 }
 
@@ -368,13 +439,27 @@ std::string to_text_canonical(const scenario::Scenario& s) {
            << r.col0 << " " << r.row1 << " " << r.col1 << " " << r.count
            << "\n";
     }
-    // Door events round-trip in stored order (firing order is resolved by
-    // a stable sort at simulation setup, so order here is author intent).
+    if (sim.anticipate.horizon > 0) {
+        os << "anticipate = " << sim.anticipate.horizon << "\n";
+    }
+    // Dynamic-geometry events round-trip in stored order (firing order is
+    // resolved by expansion plus a stable sort at simulation setup, so
+    // order here is author intent).
     for (const auto& e : sim.doors) {
         os << "door = " << e.step << " "
            << (e.action == core::DoorAction::kClose ? "close" : "open") << " "
            << e.row0 << " " << e.col0 << " " << e.row1 << " " << e.col1
            << "\n";
+    }
+    for (const auto& e : sim.cycles) {
+        os << "cycle = " << e.start << " " << e.period << " " << e.duty
+           << " " << e.repeats << " " << e.row0 << " " << e.col0 << " "
+           << e.row1 << " " << e.col1 << "\n";
+    }
+    for (const auto& e : sim.movers) {
+        os << "mover = " << e.start << " " << e.interval << " " << e.count
+           << " " << e.drow << " " << e.dcol << " " << e.row0 << " "
+           << e.col0 << " " << e.row1 << " " << e.col1 << "\n";
     }
     if (!sim.layout.wall_cells.empty() ||
         !sim.layout.goal_cells[0].empty() ||

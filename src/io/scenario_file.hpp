@@ -11,6 +11,10 @@
 //   steps = 400
 //   spawn = top 6 6 41 41 320        # group row0 col0 row1 col1 count
 //   panic = 60 32 32 10              # trigger_step row col radius
+//   door = 50 open 1 4 1 11          # step open|close row0 col0 row1 col1
+//   cycle = 20 40 20 5 1 4 1 11      # start period duty repeats rect
+//   mover = 10 4 12 0 1 1 0 2 3      # start interval count drow dcol rect
+//   anticipate = 40                  # blend toward the next phase's field
 //   map:
 //   ................
 //   #######..#######

@@ -20,6 +20,23 @@ namespace pedsim::io {
     }
 }
 
+/// Full-range unsigned parse (e.g. 64-bit seeds above int64 max, which
+/// the scenario serializer emits verbatim). Rejects negative input —
+/// std::stoull would silently wrap "-1" to 2^64 - 1.
+[[nodiscard]] inline bool strict_stoull(const std::string& s,
+                                        unsigned long long& out) {
+    if (s.empty() || s.front() == '-') return false;
+    try {
+        std::size_t pos = 0;
+        const unsigned long long x = std::stoull(s, &pos);
+        if (pos != s.size()) return false;
+        out = x;
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
 [[nodiscard]] inline bool strict_stod(const std::string& s, double& out) {
     try {
         std::size_t pos = 0;

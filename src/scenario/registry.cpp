@@ -204,6 +204,68 @@ Scenario phased_evacuation() {
     return s;
 }
 
+/// The bottleneck wall with its gap run as a pulsing gate: a CycleEvent
+/// opens the 16-wide doorway for 20 of every 40 steps, five times. The
+/// run alternates between two wall configurations, so the phase cache
+/// holds exactly two fields no matter how many pulses fire.
+Scenario pulsing_gate() {
+    Scenario s;
+    s.name = "pulsing_gate";
+    s.description =
+        "64x64 bidirectional corridor split by a wall whose 16-wide gate "
+        "pulses open for 20 of every 40 steps (5 pulses from step 20)";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 180;
+    add_wall_rect(s.sim.layout, s.sim.grid, 31, 0, 32, 63);
+    s.sim.cycles.push_back({20, 40, 20, 31, 24, 32, 39, 5});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 260;
+    return s;
+}
+
+/// A moving wall: an 8-wide, 4-deep "train" slides along the mid-grid
+/// platform one cell every 4 steps, cutting across both pedestrian
+/// streams. Agents under its leading edge are swept (retired), exactly
+/// like any closing door; each position is a fresh wall configuration, so
+/// this is the mover's O(count)-fields stress case.
+Scenario conveyor_platform() {
+    Scenario s;
+    s.name = "conveyor_platform";
+    s.description =
+        "64x64 bidirectional corridor crossed by an 8x4 wall block sliding "
+        "east one cell every 4 steps (48 moves from step 10)";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 220;
+    add_wall_rect(s.sim.layout, s.sim.grid, 30, 0, 33, 7);
+    s.sim.movers.push_back({10, 4, 0, 1, 30, 0, 33, 7, 48});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 260;
+    return s;
+}
+
+/// The sealed chamber of timed_exit with anticipatory routing: the door
+/// opens at step 60, and from step 20 (horizon 40) candidate scoring
+/// blends toward the open-door phase's field, so the crowd pre-stages at
+/// the door instead of pressing uniformly against the wall. Forward
+/// priority is off so the blended field actually steers (a free forward
+/// cell would otherwise bypass the scan row).
+Scenario prestaged_evacuation() {
+    Scenario s;
+    s.name = "prestaged_evacuation";
+    s.description =
+        "48x48 sealed chamber; an 8-wide door opens at step 60 and "
+        "anticipatory routing (horizon 40) pre-stages the crowd at it";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    s.sim.forward_priority = false;
+    add_wall_rect(s.sim.layout, s.sim.grid, 24, 0, 25, 47);
+    s.sim.layout.spawns.push_back({grid::Group::kTop, 2, 2, 18, 45, 240});
+    s.sim.doors.push_back({60, 24, 20, 25, 27, core::DoorAction::kOpen});
+    s.sim.anticipate.horizon = 40;
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 320;
+    return s;
+}
+
 using Builder = Scenario (*)();
 
 constexpr std::pair<const char*, Builder> kBuiltins[] = {
@@ -217,6 +279,9 @@ constexpr std::pair<const char*, Builder> kBuiltins[] = {
     {"timed_exit", timed_exit},
     {"closing_corridor", closing_corridor},
     {"phased_evacuation", phased_evacuation},
+    {"pulsing_gate", pulsing_gate},
+    {"conveyor_platform", conveyor_platform},
+    {"prestaged_evacuation", prestaged_evacuation},
 };
 
 }  // namespace

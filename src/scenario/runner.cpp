@@ -59,21 +59,35 @@ ScenarioRunner::ScenarioRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
 RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
                                   core::Model model, std::uint64_t seed,
                                   int steps) const {
-    core::SimConfig cfg = s.sim;
-    cfg.model = model;
-    cfg.seed = seed;
-    if (opts_.engine_threads > 0) cfg.exec.threads = opts_.engine_threads;
-    const auto sim = make_engine(engine, cfg);
-    RunRecord rec;
-    rec.scenario = s.name;
-    rec.engine = engine;
-    rec.model = model;
-    rec.seed = seed;
-    rec.steps = steps;
-    rec.door_events = static_cast<int>(cfg.doors.size());
-    rec.result = sim->run(steps);
-    rec.fingerprint = position_fingerprint(*sim);
-    return rec;
+    // Anything thrown below (setup validation, engine construction, the
+    // run itself) surfaces with the run's coordinates attached: a batch
+    // executes on pool workers, and a bare rethrow would leave a failing
+    // golden/property run anonymous.
+    try {
+        core::SimConfig cfg = s.sim;
+        cfg.model = model;
+        cfg.seed = seed;
+        if (opts_.engine_threads > 0) cfg.exec.threads = opts_.engine_threads;
+        const auto sim = make_engine(engine, cfg);
+        RunRecord rec;
+        rec.scenario = s.name;
+        rec.engine = engine;
+        rec.model = model;
+        rec.seed = seed;
+        rec.steps = steps;
+        rec.door_events = static_cast<int>(cfg.doors.size());
+        rec.cycle_events = static_cast<int>(cfg.cycles.size());
+        rec.mover_events = static_cast<int>(cfg.movers.size());
+        rec.anticipate_horizon = cfg.anticipate.horizon;
+        rec.result = sim->run(steps);
+        rec.fingerprint = position_fingerprint(*sim);
+        return rec;
+    } catch (const std::exception& e) {
+        throw std::runtime_error(
+            "scenario '" + s.name + "' (" + engine_name(engine) + ", " +
+            (model == core::Model::kLem ? "lem" : "aco") + ", seed " +
+            std::to_string(seed) + "): " + e.what());
+    }
 }
 
 std::vector<RunRecord> ScenarioRunner::run(
@@ -131,9 +145,9 @@ std::vector<RunRecord> ScenarioRunner::run_registry() const {
 std::string ScenarioRunner::summary_table(
     const std::vector<RunRecord>& records) {
     io::TablePrinter table({"scenario", "engine", "model", "seed", "steps",
-                            "doors", "crossed", "moves", "conflicts",
-                            "wall_s", "steps_per_s", "modeled_s",
-                            "fingerprint"});
+                            "doors", "cycles", "movers", "antic", "crossed",
+                            "moves", "conflicts", "wall_s", "steps_per_s",
+                            "modeled_s", "fingerprint"});
     for (const auto& r : records) {
         char fp[20];
         std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
@@ -144,7 +158,9 @@ std::string ScenarioRunner::summary_table(
             {r.scenario, engine_name(r.engine),
              r.model == core::Model::kLem ? "lem" : "aco",
              std::to_string(r.seed), std::to_string(r.steps),
-             std::to_string(r.door_events),
+             std::to_string(r.door_events), std::to_string(r.cycle_events),
+             std::to_string(r.mover_events),
+             std::to_string(r.anticipate_horizon),
              io::TablePrinter::integer(
                  static_cast<long long>(r.result.crossed_total())),
              io::TablePrinter::integer(

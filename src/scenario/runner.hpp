@@ -48,9 +48,15 @@ struct RunRecord {
     core::Model model = core::Model::kLem;
     std::uint64_t seed = 0;
     int steps = 0;
-    /// Timed door events in the run's config (the dynamic-environment
-    /// workload axis: throughput-vs-event-count comes from this column).
+    /// Authored dynamic-geometry events in the run's config (the
+    /// dynamic-environment workload axes: throughput-vs-event-count comes
+    /// from these columns). Doors count pre-expansion; cycles/movers count
+    /// authored generators, not the DoorEvents they expand to.
     int door_events = 0;
+    int cycle_events = 0;
+    int mover_events = 0;
+    /// Anticipatory-routing horizon of the run (0 = blending off).
+    int anticipate_horizon = 0;
     core::RunResult result;
     /// Position fingerprint of the final state; equal across engines for
     /// the same (scenario, model, seed, steps).

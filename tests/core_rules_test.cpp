@@ -8,6 +8,7 @@
 
 #include "core/property_table.hpp"
 #include "core/rules.hpp"
+#include "test_candidates.hpp"
 
 namespace pedsim::core {
 namespace {

@@ -19,6 +19,7 @@
 #include "core/gpu_simulator.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "test_budget.hpp"
 
 using namespace pedsim;
 
@@ -50,14 +51,13 @@ std::vector<int> thread_counts() {
 
 /// Step budget per scenario: enough to see moves, conflicts, crossings and
 /// (for panic_crossing) the alarm, small enough to keep the suite quick.
-/// Door scenarios extend the budget past their last event, so every wall
-/// toggle and phase-field swap happens inside the compared window.
+/// Dynamic-geometry scenarios extend the budget past their last EXPANDED
+/// event (doors plus every cycle/mover firing), so every wall toggle and
+/// phase-field swap happens inside the compared window.
 int budget_for(const scenario::Scenario& s) {
-    int budget = s.sim.grid.rows >= 256 ? 25 : 80;
-    for (const auto& e : s.sim.doors) {
-        budget = std::max(budget, static_cast<int>(e.step) + 30);
-    }
-    return budget;
+    return pedsim::testing::budget_past_events(s, /*base_small=*/80,
+                                               /*base_large=*/25,
+                                               /*margin=*/30);
 }
 
 struct Trace {

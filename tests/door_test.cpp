@@ -5,7 +5,10 @@
 // scenarios.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/cpu_simulator.hpp"
 #include "core/door_schedule.hpp"
@@ -115,6 +118,223 @@ TEST(DoorSchedule, NoDoorsDegeneratesToTheStaticChoice) {
     doored.doors.push_back({5, 7, 0, 8, 15, DoorAction::kClose});
     const DoorSchedule forced(doored);
     EXPECT_TRUE(forced.field_after(0).geodesic());
+}
+
+// --- Cycle / mover expansion -------------------------------------------------
+
+TEST(DynamicEvents, CycleExpandsToOpenClosePairs) {
+    const grid::GridConfig g{16, 16};
+    const auto events = expand_dynamic_events(
+        {}, {{20, 40, 15, 7, 4, 8, 7, 3}}, {}, g);
+    ASSERT_EQ(events.size(), 6u);
+    for (std::uint64_t k = 0; k < 3; ++k) {
+        const auto& open = events[2 * k];
+        const auto& close = events[2 * k + 1];
+        EXPECT_EQ(open.step, 20 + 40 * k);
+        EXPECT_EQ(open.action, DoorAction::kOpen);
+        EXPECT_EQ(close.step, 20 + 40 * k + 15);
+        EXPECT_EQ(close.action, DoorAction::kClose);
+        EXPECT_EQ(open.row0, 7);
+        EXPECT_EQ(close.col1, 7);
+    }
+}
+
+TEST(DynamicEvents, CycleExpansionKeepsTwoCachedFields) {
+    SimConfig cfg = walled_config();
+    // Five pulses = 10 expanded events, but only two wall configurations
+    // (gap open / gap shut) — the ISSUE's O(2 fields) contract.
+    cfg.cycles.push_back({5, 10, 4, 7, 4, 8, 7, 5});
+    const DoorSchedule sched(cfg);
+    ASSERT_EQ(sched.events().size(), 10u);
+    EXPECT_EQ(sched.field_count(), 2u);
+    // Phases alternate between exactly two field objects, and revisits
+    // are pointer-equal, not value-equal copies.
+    for (std::size_t fired = 0; fired <= 10; ++fired) {
+        EXPECT_EQ(&sched.field_after(fired),
+                  &sched.field_after(fired % 2))
+            << fired;
+    }
+    EXPECT_NE(&sched.field_after(0), &sched.field_after(1));
+}
+
+TEST(DynamicEvents, MoverExpandsToOpenThenCloseAtEachFiring) {
+    const grid::GridConfig g{16, 16};
+    // 3 east moves of a 2x2 block at rows 7-8, cols 2-3.
+    const auto events = expand_dynamic_events(
+        {}, {}, {{10, 4, 0, 1, 7, 2, 8, 3, 3}}, g);
+    ASSERT_EQ(events.size(), 6u);
+    for (int k = 0; k < 3; ++k) {
+        const auto& open = events[static_cast<std::size_t>(2 * k)];
+        const auto& close = events[static_cast<std::size_t>(2 * k + 1)];
+        EXPECT_EQ(open.step, static_cast<std::uint64_t>(10 + 4 * k));
+        EXPECT_EQ(close.step, open.step);  // same step: one translation
+        EXPECT_EQ(open.action, DoorAction::kOpen);
+        EXPECT_EQ(close.action, DoorAction::kClose);
+        EXPECT_EQ(open.col0, 2 + k);
+        EXPECT_EQ(close.col0, 3 + k);  // translated one cell east
+    }
+}
+
+TEST(DynamicEvents, ExpansionValidatesParameters) {
+    const grid::GridConfig g{16, 16};
+    // duty >= period.
+    EXPECT_THROW(
+        expand_dynamic_events({}, {{0, 10, 10, 7, 4, 8, 7, 1}}, {}, g),
+        std::invalid_argument);
+    // zero repeats.
+    EXPECT_THROW(
+        expand_dynamic_events({}, {{0, 10, 4, 7, 4, 8, 7, 0}}, {}, g),
+        std::invalid_argument);
+    // cycle rect off-grid.
+    EXPECT_THROW(
+        expand_dynamic_events({}, {{0, 10, 4, 7, 4, 16, 7, 1}}, {}, g),
+        std::invalid_argument);
+    // mover: zero translation.
+    EXPECT_THROW(
+        expand_dynamic_events({}, {}, {{0, 4, 0, 0, 7, 2, 8, 3, 3}}, g),
+        std::invalid_argument);
+    // Expansion ceiling: a typo'd uint64 repeats/count must be rejected,
+    // not materialized (and, for movers, must not wrap the int-typed
+    // final-position bounds check).
+    EXPECT_THROW(
+        expand_dynamic_events({}, {{0, 10, 4, 7, 4, 8, 7, 1u << 20}}, {}, g),
+        std::invalid_argument);
+    EXPECT_THROW(
+        expand_dynamic_events({}, {},
+                              {{0, 4, 0, 1, 7, 2, 8, 3, 1ull << 32}}, g),
+        std::invalid_argument);
+    // Step ceiling: a start/period near uint64 max would wrap the
+    // expansion arithmetic and emit a close at ~step 0 with no open.
+    EXPECT_THROW(
+        expand_dynamic_events(
+            {}, {{(1ull << 63) - 1, 1ull << 62, 4, 7, 4, 8, 7, 8}}, {}, g),
+        std::invalid_argument);
+    EXPECT_THROW(
+        expand_dynamic_events(
+            {}, {}, {{(1ull << 63) - 1, 1ull << 62, 0, 1, 7, 2, 8, 3, 3}},
+            g),
+        std::invalid_argument);
+    // mover: final position walks off the grid (13 east moves from col 3).
+    EXPECT_THROW(
+        expand_dynamic_events({}, {}, {{0, 4, 0, 1, 7, 2, 8, 3, 13}}, g),
+        std::invalid_argument);
+    EXPECT_NO_THROW(
+        expand_dynamic_events({}, {}, {{0, 4, 0, 1, 7, 2, 8, 3, 12}}, g));
+}
+
+TEST(DynamicEvents, MoverTranslatesTheWallBlock) {
+    SimConfig cfg;
+    cfg.grid.rows = cfg.grid.cols = 16;
+    cfg.layout.spawns.push_back({grid::Group::kTop, 0, 0, 0, 0, 1});
+    for (int r = 7; r <= 8; ++r) {
+        for (int c = 2; c <= 3; ++c) {
+            cfg.layout.wall_cells.push_back(
+                static_cast<std::uint32_t>(r * 16 + c));
+        }
+    }
+    cfg.movers.push_back({2, 3, 0, 1, 7, 2, 8, 3, 4});
+    const auto sim = make_cpu_simulator(cfg);
+    EXPECT_EQ(sim->environment().wall_count(), 4u);
+    EXPECT_TRUE(sim->environment().is_wall(7, 2));
+
+    sim->run(3);  // firings at steps 2 (cols 3-4) — one translation so far
+    EXPECT_EQ(sim->environment().wall_count(), 4u);
+    EXPECT_FALSE(sim->environment().is_wall(7, 2));
+    EXPECT_TRUE(sim->environment().is_wall(7, 3));
+    EXPECT_TRUE(sim->environment().is_wall(7, 4));
+
+    sim->run(9);  // steps 5, 8, 11 fire the remaining three translations
+    EXPECT_EQ(sim->environment().wall_count(), 4u);
+    EXPECT_FALSE(sim->environment().is_wall(7, 5));
+    EXPECT_TRUE(sim->environment().is_wall(7, 6));
+    EXPECT_TRUE(sim->environment().is_wall(8, 7));
+}
+
+// --- Anticipatory routing ----------------------------------------------------
+
+TEST(Anticipation, BlendedViewWithoutNextFieldIsBitIdentical) {
+    SimConfig cfg = walled_config();
+    const DoorSchedule sched(cfg);
+    const auto& df = sched.field_after(0);
+    const grid::BlendedField view(&df);
+    EXPECT_FALSE(view.blending());
+    for (const auto g : {grid::Group::kTop, grid::Group::kBottom}) {
+        for (int r = 0; r < cfg.grid.rows; ++r) {
+            for (int c = 0; c < cfg.grid.cols; ++c) {
+                EXPECT_EQ(view.cost(g, r, c, 0), df.cost(g, r, c, 0));
+            }
+        }
+    }
+}
+
+TEST(Anticipation, BlendIsAConvexCombinationWithUnreachableCapped) {
+    SimConfig cfg = walled_config();
+    cfg.doors.push_back({5, 7, 4, 8, 7, DoorAction::kOpen});
+    const DoorSchedule sched(cfg);
+    const auto& now = sched.field_after(0);
+    const auto& next = sched.field_after(1);
+    const double cap = now.blend_cap();
+    const grid::BlendedField view(&now, &next, 0.25);
+    ASSERT_TRUE(view.blending());
+    for (int r = 0; r < cfg.grid.rows; ++r) {
+        for (int c = 0; c < cfg.grid.cols; ++c) {
+            const double a = std::min(now.cost(grid::Group::kTop, r, c, 0),
+                                      cap);
+            const double b = std::min(next.cost(grid::Group::kTop, r, c, 0),
+                                      cap);
+            EXPECT_EQ(view.cost(grid::Group::kTop, r, c, 0),
+                      0.75 * a + 0.25 * b)
+                << r << "," << c;
+        }
+    }
+    // The cap keeps sealed regions (kUnreachable now, finite next) inside
+    // double precision: the blend must still order by the next field.
+    const double behind_near = view.cost(grid::Group::kTop, 2, 5, 0);
+    const double behind_far = view.cost(grid::Group::kTop, 0, 15, 0);
+    EXPECT_LT(behind_near, behind_far);
+}
+
+TEST(Anticipation, HorizonZeroAndOutOfHorizonMatchTheUnblendedPath) {
+    // With the event far beyond the horizon, every step's scoring field
+    // must be the unblended one — traces bit-identical to horizon 0.
+    SimConfig base = walled_config();
+    base.agents_per_side = 0;  // region spawn provides the population
+    base.layout.spawns.clear();
+    base.layout.spawns.push_back({grid::Group::kTop, 1, 1, 4, 14, 30});
+    base.doors.push_back({500, 7, 4, 8, 7, DoorAction::kOpen});
+
+    auto trace = [](const SimConfig& cfg) {
+        const auto sim = make_cpu_simulator(cfg);
+        std::vector<StepResult> steps;
+        sim->run(40, [&steps](const StepResult& sr) {
+            steps.push_back(sr);
+            return true;
+        });
+        return std::make_pair(steps, scenario::position_fingerprint(*sim));
+    };
+    SimConfig h0 = base;
+    h0.anticipate.horizon = 0;
+    SimConfig h10 = base;
+    h10.anticipate.horizon = 10;  // event at 500: never inside the window
+    const auto a = trace(h0);
+    const auto b = trace(h10);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Anticipation, InsideTheHorizonBlendingChangesRouting) {
+    // prestaged_evacuation with the horizon stripped must diverge from the
+    // shipped scenario: pre-staging is observable, not cosmetic.
+    const auto s = scenario::get("prestaged_evacuation");
+    ASSERT_EQ(s.sim.anticipate.horizon, 40);
+    SimConfig stripped = s.sim;
+    stripped.anticipate.horizon = 0;
+    const auto with = make_cpu_simulator(s.sim);
+    const auto without = make_cpu_simulator(stripped);
+    with->run(59);  // up to (not past) the door-open at step 60
+    without->run(59);
+    EXPECT_NE(scenario::position_fingerprint(*with),
+              scenario::position_fingerprint(*without));
 }
 
 // --- Step-boundary application ----------------------------------------------

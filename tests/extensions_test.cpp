@@ -11,6 +11,7 @@
 #include "core/gpu_simulator.hpp"
 #include "core/metrics.hpp"
 #include "core/rules.hpp"
+#include "test_candidates.hpp"
 
 namespace pedsim::core {
 namespace {

@@ -1,0 +1,184 @@
+// Golden-fingerprint regression corpus: every built-in scenario x engine
+// x {1, 4} host threads, run for a deterministic per-scenario step budget,
+// must reproduce the position fingerprint checked in at
+// tests/golden/fingerprints.csv. Any refactor that silently changes a
+// trajectory — a reordered RNG draw, a perturbed candidate sort, a
+// drifted event expansion — fails here with the exact (scenario, engine,
+// threads) coordinates.
+//
+// Regenerate the corpus after an INTENDED behaviour change with:
+//
+//   ./build/golden_test --update-golden
+//
+// and commit the rewritten CSV alongside the change that justifies it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "test_budget.hpp"
+
+// Defined by CMake: the in-tree corpus path, so the test reads (and
+// --update-golden rewrites) the checked-in file from any build directory.
+#ifndef PEDSIM_GOLDEN_FILE
+#error "PEDSIM_GOLDEN_FILE must point at tests/golden/fingerprints.csv"
+#endif
+
+using namespace pedsim;
+
+namespace {
+
+constexpr int kGoldenThreads[] = {1, 4};
+
+struct GoldenRow {
+    std::string scenario;
+    std::string engine;
+    int threads = 0;
+    int steps = 0;
+    std::uint64_t fingerprint = 0;
+
+    [[nodiscard]] std::string key() const {
+        return scenario + "/" + engine + "/" + std::to_string(threads);
+    }
+};
+
+/// Deterministic per-scenario budget: past the last EXPANDED dynamic
+/// event (+20 settling steps), capped small for the 480x480 baseline.
+/// Changing these constants invalidates the corpus — regenerate it.
+int golden_steps(const scenario::Scenario& s) {
+    return pedsim::testing::budget_past_events(s, /*base_small=*/60,
+                                               /*base_large=*/25,
+                                               /*margin=*/20);
+}
+
+std::vector<GoldenRow> compute_corpus() {
+    std::vector<GoldenRow> rows;
+    for (const auto& s : scenario::all()) {
+        const int steps = golden_steps(s);
+        for (const auto engine :
+             {scenario::EngineKind::kCpu, scenario::EngineKind::kGpuSimt}) {
+            for (const int threads : kGoldenThreads) {
+                // Like ScenarioRunner::run_one, attach the run's
+                // coordinates to anything thrown — an anonymous abort of
+                // a 52-run sweep is undiagnosable.
+                try {
+                    core::SimConfig cfg = s.sim;
+                    cfg.exec.threads = threads;
+                    const auto sim = scenario::make_engine(engine, cfg);
+                    sim->run(steps);
+                    rows.push_back({s.name, scenario::engine_name(engine),
+                                    threads, steps,
+                                    scenario::position_fingerprint(*sim)});
+                } catch (const std::exception& e) {
+                    throw std::runtime_error(
+                        "golden run '" + s.name + "' (" +
+                        scenario::engine_name(engine) + ", " +
+                        std::to_string(threads) + " threads): " + e.what());
+                }
+            }
+        }
+    }
+    return rows;
+}
+
+std::vector<GoldenRow> load_corpus(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("cannot read golden corpus: " + path);
+    }
+    std::vector<GoldenRow> rows;
+    std::string line;
+    bool header = true;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        if (header) {  // column names, skipped by content
+            header = false;
+            continue;
+        }
+        std::istringstream is(line);
+        GoldenRow row;
+        std::string threads, steps, fp;
+        if (!std::getline(is, row.scenario, ',') ||
+            !std::getline(is, row.engine, ',') ||
+            !std::getline(is, threads, ',') ||
+            !std::getline(is, steps, ',') || !std::getline(is, fp)) {
+            throw std::runtime_error("golden corpus: malformed line: " +
+                                     line);
+        }
+        row.threads = std::stoi(threads);
+        row.steps = std::stoi(steps);
+        row.fingerprint = std::stoull(fp, nullptr, 16);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void write_corpus(const std::string& path,
+                  const std::vector<GoldenRow>& rows) {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("cannot write golden corpus: " + path);
+    }
+    out << "scenario,engine,threads,steps,fingerprint\n";
+    for (const auto& r : rows) {
+        char fp[20];
+        std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+        out << r.scenario << "," << r.engine << "," << r.threads << ","
+            << r.steps << "," << fp << "\n";
+    }
+}
+
+}  // namespace
+
+TEST(Golden, CorpusCoversEveryScenarioEngineAndThreadCount) {
+    const auto golden = load_corpus(PEDSIM_GOLDEN_FILE);
+    std::map<std::string, int> by_scenario;
+    for (const auto& r : golden) ++by_scenario[r.scenario];
+    for (const auto& name : scenario::names()) {
+        EXPECT_EQ(by_scenario[name], 4)
+            << name << " must have cpu/gpu-simt x {1,4}-thread rows — "
+            << "regenerate with ./golden_test --update-golden";
+    }
+    EXPECT_EQ(golden.size(), scenario::names().size() * 4u)
+        << "corpus rows for scenarios no longer in the registry";
+}
+
+TEST(Golden, FingerprintsMatchTheCheckedInCorpus) {
+    const auto golden = load_corpus(PEDSIM_GOLDEN_FILE);
+    ASSERT_FALSE(golden.empty());
+    std::map<std::string, GoldenRow> computed;
+    for (auto& r : compute_corpus()) computed[r.key()] = r;
+    for (const auto& g : golden) {
+        const auto it = computed.find(g.key());
+        ASSERT_NE(it, computed.end())
+            << "golden row " << g.key() << " has no live counterpart";
+        EXPECT_EQ(it->second.steps, g.steps)
+            << g.key() << ": step-budget formula drifted";
+        EXPECT_EQ(it->second.fingerprint, g.fingerprint)
+            << g.key() << ": trajectory drifted — if intended, regenerate "
+            << "with ./golden_test --update-golden and commit the CSV";
+    }
+}
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden") {
+            const auto rows = compute_corpus();
+            write_corpus(PEDSIM_GOLDEN_FILE, rows);
+            std::printf("wrote %zu golden rows to %s\n", rows.size(),
+                        PEDSIM_GOLDEN_FILE);
+            return 0;
+        }
+    }
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,267 @@
+// Property-based tests for the scenario-file format: a seeded
+// Philox-backed generator (rng::Stream — no new dependencies) emits
+// random valid scenarios spanning every feature axis (walls, goals,
+// spawns, doors, cycles, movers, anticipation, panic, model parameters),
+// and each must satisfy the serializer's contract:
+//
+//   parse(serialize(s)) == s          (round trip to equality)
+//   serialize(parse(serialize(s))) == serialize(s)   (textual fixed point)
+//
+// plus negative cases pinning the parser's rejection of malformed
+// `cycle =` / `mover =` / `anticipate =` lines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "io/scenario_file.hpp"
+#include "rng/stream.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace pedsim;
+
+namespace {
+
+constexpr std::uint64_t kGeneratorSeed = 0x5CE9A210ull;
+constexpr int kCases = 64;
+
+int draw_int(rng::Stream& s, int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(
+                    s.next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+}
+
+/// One random valid scenario. Walls live in rows [2, rows-3] and goals on
+/// the edge rows, so canonicalize's wall/goal-disjointness check always
+/// holds; every dynamic event is generated within the constraints
+/// expand_dynamic_events enforces, so the emitted text must parse.
+scenario::Scenario random_scenario(std::uint64_t index) {
+    rng::Stream s(kGeneratorSeed, rng::Stage::kGeneric, index, 0);
+    scenario::Scenario sc;
+    sc.name = "prop_" + std::to_string(index);
+    if (s.next_below(2)) sc.description = "generated case " +
+                                          std::to_string(index);
+    auto& sim = sc.sim;
+    sim.grid.rows = 16 * draw_int(s, 1, 3);
+    sim.grid.cols = 16 * draw_int(s, 1, 3);
+    sim.seed = s.next_u64();
+    sim.agents_per_side = static_cast<std::size_t>(draw_int(s, 1, 400));
+    sim.model = s.next_below(2) ? core::Model::kAco : core::Model::kLem;
+    sc.default_steps = draw_int(s, 1, 500);
+    sim.band_rows = draw_int(s, 0, 4);
+    sim.cross_margin = draw_int(s, 0, 3);
+    sim.exit_on_cross = s.next_below(2) != 0;
+    sim.forward_priority = s.next_below(2) != 0;
+    // Doubles round-trip exactly through the %.17g serializer, so raw
+    // 53-bit draws are fair game — no "nice" values needed.
+    sim.max_band_fill = 0.1 + 0.8 * s.next_double();
+    sim.lem.sigma = 0.1 + s.next_double();
+    sim.aco.alpha = s.next_double() * 3.0;
+    sim.aco.beta = s.next_double() * 3.0;
+    sim.aco.rho = s.next_double();
+    sim.aco.q = s.next_double() * 2.0;
+    sim.aco.tau0 = s.next_double();
+    sim.aco.tau_min = s.next_double() * 1e-2;
+    sim.scan.range = draw_int(s, 1, 4);
+    sim.scan.congestion_weight = s.next_double();
+    sim.speed.slow_fraction = s.next_below(2) ? s.next_double() : 0.0;
+    sim.speed.slow_period = draw_int(s, 2, 5);
+
+    const int rows = sim.grid.rows;
+    const int cols = sim.grid.cols;
+    for (int w = draw_int(s, 0, 3); w > 0; --w) {
+        const int r0 = draw_int(s, 2, rows - 4);
+        const int c0 = draw_int(s, 0, cols - 2);
+        const int r1 = draw_int(s, r0, std::min(r0 + 3, rows - 4));
+        const int c1 = draw_int(s, c0, cols - 1);
+        scenario::add_wall_rect(sim.layout, sim.grid, r0, c0, r1, c1);
+    }
+    if (s.next_below(2)) {
+        scenario::add_goal_rect(sim.layout, sim.grid, grid::Group::kTop,
+                                rows - 1, draw_int(s, 0, cols / 2), rows - 1,
+                                cols - 1);
+    }
+    if (s.next_below(2)) {
+        scenario::add_goal_rect(sim.layout, sim.grid, grid::Group::kBottom,
+                                0, 0, 0, draw_int(s, cols / 2, cols - 1));
+    }
+    for (int n = draw_int(s, 0, 2); n > 0; --n) {
+        const int r0 = draw_int(s, 1, rows - 3);
+        const int c0 = draw_int(s, 1, cols - 3);
+        sim.layout.spawns.push_back(
+            {s.next_below(2) ? grid::Group::kTop : grid::Group::kBottom, r0,
+             c0, draw_int(s, r0, rows - 2), draw_int(s, c0, cols - 2),
+             static_cast<std::size_t>(draw_int(s, 1, 12))});
+    }
+
+    for (int n = draw_int(s, 0, 3); n > 0; --n) {
+        const int r0 = draw_int(s, 0, rows - 2);
+        const int c0 = draw_int(s, 0, cols - 2);
+        sim.doors.push_back(
+            {static_cast<std::uint64_t>(draw_int(s, 0, 400)), r0, c0,
+             draw_int(s, r0, rows - 1), draw_int(s, c0, cols - 1),
+             s.next_below(2) ? core::DoorAction::kOpen
+                             : core::DoorAction::kClose});
+    }
+    for (int n = draw_int(s, 0, 2); n > 0; --n) {
+        core::CycleEvent cy;
+        cy.start = static_cast<std::uint64_t>(draw_int(s, 0, 200));
+        cy.period = static_cast<std::uint64_t>(draw_int(s, 2, 40));
+        cy.duty = static_cast<std::uint64_t>(
+            draw_int(s, 1, static_cast<int>(cy.period) - 1));
+        cy.repeats = static_cast<std::uint64_t>(draw_int(s, 1, 4));
+        cy.row0 = draw_int(s, 0, rows - 2);
+        cy.col0 = draw_int(s, 0, cols - 2);
+        cy.row1 = draw_int(s, cy.row0, rows - 1);
+        cy.col1 = draw_int(s, cy.col0, cols - 1);
+        sim.cycles.push_back(cy);
+    }
+    for (int n = draw_int(s, 0, 2); n > 0; --n) {
+        core::MoverEvent mv;
+        mv.start = static_cast<std::uint64_t>(draw_int(s, 0, 100));
+        mv.interval = static_cast<std::uint64_t>(draw_int(s, 1, 8));
+        // A unit king move (drow, dcol) != (0, 0).
+        do {
+            mv.drow = draw_int(s, -1, 1);
+            mv.dcol = draw_int(s, -1, 1);
+        } while (mv.drow == 0 && mv.dcol == 0);
+        // Small block near mid-grid; cap count so every translated
+        // position stays on the grid in the chosen direction.
+        mv.row0 = rows / 2 - 1;
+        mv.col0 = cols / 2 - 1;
+        mv.row1 = mv.row0 + draw_int(s, 0, 1);
+        mv.col1 = mv.col0 + draw_int(s, 0, 1);
+        int room = rows + cols;
+        if (mv.drow > 0) room = std::min(room, rows - 1 - mv.row1);
+        if (mv.drow < 0) room = std::min(room, mv.row0);
+        if (mv.dcol > 0) room = std::min(room, cols - 1 - mv.col1);
+        if (mv.dcol < 0) room = std::min(room, mv.col0);
+        mv.count = static_cast<std::uint64_t>(
+            draw_int(s, 1, std::max(1, std::min(room, 6))));
+        sim.movers.push_back(mv);
+    }
+    sim.anticipate.horizon = s.next_below(2) ? draw_int(s, 1, 60) : 0;
+    if (s.next_below(2)) {
+        sim.panic.enabled = true;
+        sim.panic.trigger_step =
+            static_cast<std::uint64_t>(draw_int(s, 0, 200));
+        sim.panic.row = draw_int(s, 0, rows - 1);
+        sim.panic.col = draw_int(s, 0, cols - 1);
+        sim.panic.radius = 1.0 + s.next_double() * 20.0;
+    }
+
+    scenario::canonicalize(sim.layout, sim.grid);
+    return sc;
+}
+
+}  // namespace
+
+TEST(ScenarioProperty, ParseSerializeParseIsAFixedPoint) {
+    for (std::uint64_t i = 0; i < kCases; ++i) {
+        const auto sc = random_scenario(i);
+        const auto text = io::scenario_to_text(sc);
+        scenario::Scenario back;
+        ASSERT_NO_THROW(back = io::parse_scenario(text))
+            << "case " << i << "\n"
+            << text;
+        EXPECT_EQ(back, sc) << "case " << i << " round-trip inequality\n"
+                            << text;
+        EXPECT_EQ(io::scenario_to_text(back), text)
+            << "case " << i << " serializer not a fixed point";
+    }
+}
+
+TEST(ScenarioProperty, GeneratedDynamicEventsSurviveTheRoundTrip) {
+    // The generator must actually exercise the new axes: across the run
+    // of cases, cycles, movers and anticipation all appear and reappear
+    // intact after the round trip.
+    int cycles = 0, movers = 0, anticipating = 0;
+    for (std::uint64_t i = 0; i < kCases; ++i) {
+        const auto sc = random_scenario(i);
+        const auto back = io::parse_scenario(io::scenario_to_text(sc));
+        ASSERT_EQ(back.sim.cycles, sc.sim.cycles) << "case " << i;
+        ASSERT_EQ(back.sim.movers, sc.sim.movers) << "case " << i;
+        ASSERT_EQ(back.sim.anticipate, sc.sim.anticipate) << "case " << i;
+        cycles += static_cast<int>(sc.sim.cycles.size());
+        movers += static_cast<int>(sc.sim.movers.size());
+        anticipating += sc.sim.anticipate.horizon > 0;
+    }
+    EXPECT_GT(cycles, 0);
+    EXPECT_GT(movers, 0);
+    EXPECT_GT(anticipating, 0);
+}
+
+TEST(ScenarioProperty, ParserRejectsMalformedCycleLines) {
+    // Wrong arity.
+    EXPECT_THROW(io::parse_scenario("cycle = 20 40 20 5 1 4 1\n"),
+                 std::invalid_argument);
+    // Non-numeric / negative fields.
+    EXPECT_THROW(io::parse_scenario("cycle = soon 40 20 5 1 4 1 11\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("cycle = -20 40 20 5 1 4 1 11\n"),
+                 std::invalid_argument);
+    // Degenerate parameters: zero period, duty >= period, zero repeats.
+    EXPECT_THROW(io::parse_scenario("cycle = 20 0 0 5 1 4 1 11\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("cycle = 20 40 40 5 1 4 1 11\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("cycle = 20 40 20 0 1 4 1 11\n"),
+                 std::invalid_argument);
+    // Rect off the (default 480x480) grid.
+    EXPECT_THROW(io::parse_scenario("cycle = 20 40 20 5 0 0 480 3\n"),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioProperty, ParserRejectsMalformedMoverLines) {
+    // Wrong arity.
+    EXPECT_THROW(io::parse_scenario("mover = 10 4 8 0 1 30 0 33\n"),
+                 std::invalid_argument);
+    // Zero translation and non-unit translation.
+    EXPECT_THROW(io::parse_scenario("mover = 10 4 8 0 0 30 0 33 7\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("mover = 10 4 8 0 2 30 0 33 7\n"),
+                 std::invalid_argument);
+    // Zero interval / zero count.
+    EXPECT_THROW(io::parse_scenario("mover = 10 0 8 0 1 30 0 33 7\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("mover = 10 4 0 0 1 30 0 33 7\n"),
+                 std::invalid_argument);
+    // The FINAL translated position must stay on the grid: 8 east moves
+    // from cols [472, 479] leave a 480-wide grid.
+    EXPECT_THROW(
+        io::parse_scenario("mover = 10 4 8 0 1 30 472 33 479\n"),
+        std::invalid_argument);
+    // Same rect with westward translation is fine.
+    EXPECT_NO_THROW(io::parse_scenario("mover = 10 4 8 0 -1 30 472 33 479\n"));
+}
+
+TEST(ScenarioProperty, ParserRejectsMalformedAnticipateLines) {
+    EXPECT_THROW(io::parse_scenario("anticipate = -1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("anticipate = soon\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("anticipate = 40 2\n"),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioProperty, ParserRejectsIntOverflowInsteadOfWrapping) {
+    // 2^32 + 1 would narrow-cast to row 1 and pass grid validation —
+    // silently landing the event on the wrong cells.
+    EXPECT_THROW(io::parse_scenario("door = 5 open 4294967297 0 8 3\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        io::parse_scenario("cycle = 0 10 4 1 4294967297 0 8 3\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        io::parse_scenario("mover = 0 1 2 0 4294967297 30 0 33 7\n"),
+        std::invalid_argument);
+    // 2^32 as an anticipate horizon would wrap to 0: blending silently off.
+    EXPECT_THROW(io::parse_scenario("anticipate = 4294967296\n"),
+                 std::invalid_argument);
+    // Huge cycle/mover step parameters are rejected by the expansion step
+    // ceiling rather than wrapping the expanded event steps.
+    EXPECT_THROW(io::parse_scenario(
+                     "cycle = 9223372036854775807 4611686018427387904 4 1 "
+                     "0 0 8 3\n"),
+                 std::invalid_argument);
+}

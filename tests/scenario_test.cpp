@@ -247,6 +247,31 @@ TEST(Runner, AllBuiltinsBitIdenticalAcrossEngines) {
     EXPECT_EQ(fingerprint_by_key.size(), all().size());
 }
 
+// A failing run must surface with its coordinates attached, whichever
+// pool worker it died on: anonymous rethrows make golden-test failures
+// undiagnosable in a parallel batch.
+TEST(Runner, BatchFailuresNameTheScenario) {
+    Scenario bad = get("corridor_small");
+    bad.name = "doomed_scenario";
+    // A door rect off the 64x64 grid: engine setup (DoorSchedule
+    // validation) throws inside the pool job.
+    bad.sim.doors.push_back({5, 0, 0, 64, 3, core::DoorAction::kOpen});
+    RunnerOptions opts;
+    opts.engines = {EngineKind::kCpu};
+    opts.steps_override = 3;
+    opts.threads = 4;
+    const ScenarioRunner runner(opts);
+    try {
+        static_cast<void>(runner.run({get("corridor_small"), bad}));
+        FAIL() << "expected the batch to rethrow the setup failure";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("doomed_scenario"), std::string::npos) << what;
+        EXPECT_NE(what.find("cpu"), std::string::npos) << what;
+        EXPECT_NE(what.find("out of bounds"), std::string::npos) << what;
+    }
+}
+
 // --- Seed reproduction (strict-superset proof) -------------------------------
 
 TEST(SeedReproduction, PaperCorridorScenarioMatchesDirectConfig) {

@@ -1,0 +1,27 @@
+// Shared step-budget helper for the determinism and golden harnesses:
+// base budget by grid size, extended past the last EXPANDED dynamic
+// event (doors plus every cycle/mover firing) so all wall toggles and
+// phase-field swaps happen inside the compared window. The two suites
+// pick different base/margin constants (golden runs leaner), but the
+// loop logic lives once so a new event axis cannot silently shrink one
+// harness's window.
+#pragma once
+
+#include <algorithm>
+
+#include "core/door_schedule.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pedsim::testing {
+
+inline int budget_past_events(const scenario::Scenario& s, int base_small,
+                              int base_large, int margin) {
+    int budget = s.sim.grid.rows >= 256 ? base_large : base_small;
+    for (const auto& e : core::expand_dynamic_events(
+             s.sim.doors, s.sim.cycles, s.sim.movers, s.sim.grid)) {
+        budget = std::max(budget, static_cast<int>(e.step) + margin);
+    }
+    return budget;
+}
+
+}  // namespace pedsim::testing
