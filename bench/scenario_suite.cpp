@@ -2,9 +2,10 @@
 // the built-in registry (or user scenario files) with deterministic
 // per-repeat seeds, and print the aggregated metrics table. The per-run
 // fingerprint column makes cross-engine bit-parity visible at a glance;
-// the doors/cycles/movers/anticipate and steps_per_s columns make
-// throughput-vs-event-count measurable across the dynamic-environment
-// scenarios.
+// the doors/cycles/movers/anticipate/waypoints and steps_per_s columns
+// make throughput-vs-event-count (and throughput-vs-waypoint-count — see
+// also waypoint_sweep) measurable across the dynamic-environment and
+// multi-goal scenarios.
 //
 //   ./scenario_suite                        # full registry, both engines
 //   ./scenario_suite --engines=cpu          # CPU only
@@ -131,7 +132,7 @@ int main(int argc, char** argv) {
         io::CsvWriter csv(args.get("csv"));
         csv.header({"scenario", "engine", "model", "seed", "steps",
                     "threads", "doors", "cycles", "movers", "anticipate",
-                    "crossed", "moves", "conflicts", "wall_s",
+                    "waypoints", "crossed", "moves", "conflicts", "wall_s",
                     "steps_per_s", "modeled_s", "batch_wall_s",
                     "fingerprint"});
         for (const auto& r : records) {
@@ -145,7 +146,7 @@ int main(int argc, char** argv) {
             csv.row(r.scenario, scenario::engine_name(r.engine),
                     r.model == core::Model::kLem ? "lem" : "aco", r.seed,
                     r.steps, opts.threads, r.door_events, r.cycle_events,
-                    r.mover_events, r.anticipate_horizon,
+                    r.mover_events, r.anticipate_horizon, r.waypoint_cells,
                     r.result.crossed_total(), r.result.total_moves,
                     r.result.total_conflicts, r.result.wall_seconds, sps,
                     r.result.modeled_device_seconds, batch_wall, fp);

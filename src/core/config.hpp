@@ -183,12 +183,31 @@ struct ScenarioLayout {
     /// Per-group goal cells ([0] = top group, [1] = bottom group); an empty
     /// list means the group's far edge row, as in the paper.
     std::array<std::vector<std::uint32_t>, 2> goal_cells;
+    /// Per-group ORDERED waypoint chains (flat cell ids): an agent must
+    /// pass within `waypoint_radius` of each chain cell in order before
+    /// its final goal (goal_cells / the far edge row) takes effect.
+    /// Candidate scoring reads the geodesic field of the agent's CURRENT
+    /// waypoint (one precomputed field per distinct cell, phase-cached
+    /// with the door schedule), so routing survives dynamic geometry.
+    /// Order is semantic — these lists are never sorted. Empty = the
+    /// plain direct-to-goal behaviour.
+    std::array<std::vector<std::uint32_t>, 2> waypoints;
+    /// Arrival radius in Chebyshev (king-move) cells: an agent at most
+    /// this far from its current waypoint advances to the next one.
+    /// Pure geometry — independent of walls — so advancement stays a
+    /// function of (position) alone and never needs re-checking when a
+    /// door event changes the fields. 0 = must stand on the cell.
+    int waypoint_radius = 1;
     /// Spawn regions; empty = the paper's bidirectional bands.
     std::vector<grid::RegionSpawn> spawns;
 
     [[nodiscard]] bool empty() const {
         return wall_cells.empty() && goal_cells[0].empty() &&
-               goal_cells[1].empty() && spawns.empty();
+               goal_cells[1].empty() && waypoints[0].empty() &&
+               waypoints[1].empty() && spawns.empty();
+    }
+    [[nodiscard]] bool has_waypoints() const {
+        return !waypoints[0].empty() || !waypoints[1].empty();
     }
     /// Walls or custom goals require the geodesic distance field.
     [[nodiscard]] bool needs_geodesic() const {

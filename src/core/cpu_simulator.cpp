@@ -28,7 +28,12 @@ void CpuSimulator::initial_calc_rows(int begin_row, int end_row) {
 
             const bool panicked = panic_applies(r, c);
             props_.panicked[idx] = panicked ? 1 : 0;
-            if (!panicked && config_.forward_priority && front_empty) continue;
+            // Waypoint-pending agents always need their scan row: forward
+            // priority is suspended while a chain steers them.
+            if (!panicked && config_.forward_priority && front_empty &&
+                !waypoint_pending(i)) {
+                continue;
+            }
 
             scan_.count(i) =
                 static_cast<std::int8_t>(fill_scan_row(i, r, c, g));

@@ -45,6 +45,40 @@ void validate_doors(const std::vector<DoorEvent>& doors,
     }
 }
 
+void validate_waypoints(const ScenarioLayout& layout,
+                        const grid::GridConfig& grid) {
+    if (layout.waypoint_radius < 0) {
+        throw std::invalid_argument(
+            "waypoint_radius must be non-negative, got " +
+            std::to_string(layout.waypoint_radius));
+    }
+    std::vector<std::uint32_t> walls = layout.wall_cells;
+    std::sort(walls.begin(), walls.end());
+    const std::size_t cells = grid.cell_count();
+    for (std::size_t g = 0; g < layout.waypoints.size(); ++g) {
+        const auto& chain = layout.waypoints[g];
+        const std::string who = g == 0 ? "top" : "bottom";
+        if (chain.size() > 255) {
+            throw std::invalid_argument(
+                who + " waypoint chain too long (" +
+                std::to_string(chain.size()) + " entries; max 255)");
+        }
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            if (chain[k] >= cells) {
+                throw std::invalid_argument(
+                    who + " waypoint " + std::to_string(k) +
+                    ": cell off-grid for " + std::to_string(grid.rows) +
+                    "x" + std::to_string(grid.cols) + " grid");
+            }
+            if (std::binary_search(walls.begin(), walls.end(), chain[k])) {
+                throw std::invalid_argument(
+                    who + " waypoint " + std::to_string(k) +
+                    ": cell is a wall");
+            }
+        }
+    }
+}
+
 std::vector<DoorEvent> expand_dynamic_events(
     const std::vector<DoorEvent>& doors,
     const std::vector<CycleEvent>& cycles,
@@ -153,6 +187,16 @@ DoorSchedule::DoorSchedule(const SimConfig& config) {
         mask[cell] = 1;
     }
 
+    // Waypoint chains share one field per DISTINCT cell (a cell revisited
+    // later in a chain, or used by both groups, is one Dijkstra, not two).
+    validate_waypoints(config.layout, config.grid);
+    for (const auto& chain : config.layout.waypoints) {
+        wp_cells_.insert(wp_cells_.end(), chain.begin(), chain.end());
+    }
+    std::sort(wp_cells_.begin(), wp_cells_.end());
+    wp_cells_.erase(std::unique(wp_cells_.begin(), wp_cells_.end()),
+                    wp_cells_.end());
+
     const auto snapshot = [&mask] {
         std::vector<std::uint32_t> walls;
         for (std::size_t i = 0; i < mask.size(); ++i) {
@@ -163,10 +207,13 @@ DoorSchedule::DoorSchedule(const SimConfig& config) {
     const auto intern = [&](std::vector<std::uint32_t> walls) {
         // Phases often revisit a configuration (open ... close back);
         // reuse the already-built field instead of re-running Dijkstra.
+        // Waypoint fields are keyed by the same configuration, so the
+        // whole chained-field set is shared along with the main field.
         for (std::size_t j = 0; j < walls_after_.size(); ++j) {
             if (walls_after_[j] == walls) {
                 walls_after_.push_back(std::move(walls));
                 after_.push_back(after_[j]);
+                wp_after_.push_back(wp_after_[j]);
                 return;
             }
         }
@@ -174,6 +221,17 @@ DoorSchedule::DoorSchedule(const SimConfig& config) {
             geodesic ? std::make_unique<grid::DistanceField>(
                            config.grid, walls, config.layout.goal_cells)
                      : std::make_unique<grid::DistanceField>(config.grid));
+        std::vector<const grid::DistanceField*> wps;
+        wps.reserve(wp_cells_.size());
+        for (const auto cell : wp_cells_) {
+            // Always geodesic: a waypoint is a single in-grid target, and
+            // its field must honour whatever walls this phase has.
+            wp_pool_.push_back(std::make_unique<grid::DistanceField>(
+                grid::DistanceField::shared_target(config.grid, walls,
+                                                   cell)));
+            wps.push_back(wp_pool_.back().get());
+        }
+        wp_after_.push_back(std::move(wps));
         walls_after_.push_back(std::move(walls));
         after_.push_back(pool_.back().get());
     };

@@ -25,6 +25,14 @@ namespace pedsim::core {
 void validate_doors(const std::vector<DoorEvent>& doors,
                     const grid::GridConfig& grid);
 
+/// Validate the layout's waypoint chains: every cell on-grid and not a
+/// static wall, chains at most 255 entries (the per-agent index is a
+/// uint8), radius non-negative. Shared by the scenario parser and the
+/// engines (DoorSchedule), so a config that parses is a config that
+/// runs. Throws std::invalid_argument naming the offending chain entry.
+void validate_waypoints(const ScenarioLayout& layout,
+                        const grid::GridConfig& grid);
+
 /// Expand the authored dynamic geometry (plain doors, periodic cycles,
 /// moving walls) into one flat DoorEvent list, validating every rect and
 /// parameter (throws std::invalid_argument naming the offending event).
@@ -69,12 +77,39 @@ class DoorSchedule {
     /// events revisit an earlier wall configuration).
     [[nodiscard]] std::size_t field_count() const { return pool_.size(); }
 
+    /// Distinct waypoint cells across both groups' chains (sorted,
+    /// deduped). Chain entries resolve to slots in this list.
+    [[nodiscard]] const std::vector<std::uint32_t>& waypoint_cells() const {
+        return wp_cells_;
+    }
+
+    /// The distance field of waypoint slot `slot` under the wall
+    /// configuration in effect after the first `fired` events — the
+    /// chained-field analogue of field_after(). O(1): one field per
+    /// (distinct configuration, distinct waypoint cell) pair is
+    /// precomputed at setup, and revisited configurations share fields
+    /// exactly like the main phase cache.
+    [[nodiscard]] const grid::DistanceField& waypoint_field_after(
+        std::size_t fired, std::size_t slot) const {
+        return *wp_after_[fired][slot];
+    }
+
+    /// Distinct precomputed waypoint fields (<= (events+1) * slots).
+    [[nodiscard]] std::size_t waypoint_field_count() const {
+        return wp_pool_.size();
+    }
+
   private:
     std::vector<DoorEvent> events_;
     /// Owning pool of distinct fields; `after_[k]` points into it.
     std::vector<std::unique_ptr<grid::DistanceField>> pool_;
     std::vector<const grid::DistanceField*> after_;       // events+1 entries
     std::vector<std::vector<std::uint32_t>> walls_after_; // events+1 entries
+    /// Waypoint-field registry: wp_after_[k][slot] is the field steering
+    /// agents toward waypoint_cells()[slot] after the first k events.
+    std::vector<std::uint32_t> wp_cells_;
+    std::vector<std::unique_ptr<grid::DistanceField>> wp_pool_;
+    std::vector<std::vector<const grid::DistanceField*>> wp_after_;
 };
 
 }  // namespace pedsim::core

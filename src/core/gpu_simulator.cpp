@@ -182,9 +182,13 @@ void GpuSimulator::stage_initial_calc() {
                        : dump_flag) = panicked ? 1 : 0;
             }
 
+            // Waypoint-pending agents always need their scan row (forward
+            // priority is suspended mid-chain) — same predicate as the
+            // CPU engine, so bit-parity holds with chains enabled.
             const bool needs_scan =
                 occupied &&
-                (panicked || !(config_.forward_priority && front_empty));
+                (panicked || waypoint_pending(i) ||
+                 !(config_.forward_priority && front_empty));
             ctx.branch(kSiteFrontEmpty, needs_scan);
             if (!needs_scan) return;
 
@@ -213,9 +217,13 @@ void GpuSimulator::stage_initial_calc() {
             }
 
             ctx.instr(16);  // eq. (1)/(2) arithmetic per candidate batch
+            // Per-agent scoring view: the agent's current waypoint field
+            // while its chain is pending, the goal field otherwise (dump
+            // threads read the goal field; their output is discarded).
+            const grid::BlendedField& field = scoring_field(i, g);
             int n;
             if (config_.model == Model::kLem) {
-                n = build_candidates_lem_t(tile_empty, blend_, g, r, c,
+                n = build_candidates_lem_t(tile_empty, field, g, r, c,
                                            out_values, out_cells);
             } else {
                 auto tile_tau = [&](int nr, int nc) {
@@ -227,7 +235,7 @@ void GpuSimulator::stage_initial_calc() {
                     return tile.at(nr - ctx.block_idx.y * simt::kTileEdge,
                                    nc - ctx.block_idx.x * simt::kTileEdge);
                 };
-                n = build_candidates_aco_t(tile_empty, tile_tau, blend_,
+                n = build_candidates_aco_t(tile_empty, tile_tau, field,
                                            config_.aco, g, r, c, out_values,
                                            out_cells);
             }

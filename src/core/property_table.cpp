@@ -16,6 +16,7 @@ PropertyTable::PropertyTable(const std::vector<grid::PlacedAgent>& agents)
     active.assign(n, 0);
     panicked.assign(n, 0);
     speed_class.assign(n, 0);
+    waypoint.assign(n, 0);
     for (const auto& a : agents) {
         const auto i = static_cast<std::size_t>(a.index);
         group[i] = static_cast<std::uint8_t>(a.group);

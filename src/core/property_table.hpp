@@ -37,6 +37,11 @@ class PropertyTable {
     std::vector<std::uint8_t> active;       ///< still on the grid
     std::vector<std::uint8_t> panicked;     ///< fleeing the panic epicentre
     std::vector<std::uint8_t> speed_class;  ///< 0 = fast, 1 = slow
+    /// Index into the agent's group waypoint chain (ScenarioLayout::
+    /// waypoints): the waypoint currently steering the agent. Equal to the
+    /// chain length once every waypoint has been visited (chains are
+    /// validated to at most 255 entries). Monotone non-decreasing.
+    std::vector<std::uint8_t> waypoint;
 
     [[nodiscard]] grid::Group group_of(std::int32_t i) const {
         return static_cast<grid::Group>(group[static_cast<std::size_t>(i)]);

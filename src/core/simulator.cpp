@@ -1,6 +1,8 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "core/rules.hpp"
 
@@ -50,6 +52,31 @@ Simulator::Simulator(const SimConfig& config)
                 s.next_double() < config_.speed.slow_fraction ? 1 : 0;
         }
     }
+    // Waypoint chains: resolve each group's ordered cells to slots in the
+    // schedule's deduped registry, seed the per-slot scoring views, and
+    // advance agents spawned inside the arrival radius of their leading
+    // waypoint(s) before the first step.
+    if (config_.layout.has_waypoints()) {
+        const auto& cells = doors_.waypoint_cells();
+        for (std::size_t g = 0; g < 2; ++g) {
+            for (const auto cell : config_.layout.waypoints[g]) {
+                const auto it = std::lower_bound(cells.begin(), cells.end(),
+                                                 cell);
+                chain_slots_[g].push_back(static_cast<std::uint32_t>(
+                    it - cells.begin()));
+            }
+        }
+        wp_blend_.resize(cells.size());
+        for (std::size_t slot = 0; slot < cells.size(); ++slot) {
+            wp_blend_[slot] =
+                grid::BlendedField(&doors_.waypoint_field_after(0, slot));
+        }
+        for (std::size_t i = 1; i < props_.rows(); ++i) {
+            if (props_.active[i] != 0) {
+                advance_waypoints(static_cast<std::int32_t>(i));
+            }
+        }
+    }
 }
 
 int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
@@ -59,24 +86,27 @@ int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
         return build_candidates_flee_t(empty, config_.panic, g, r, c,
                                        scan_.values(i), scan_.cells(i));
     }
+    // The scoring view is per-agent: the current waypoint's field while a
+    // chain is pending, the final (goal) field otherwise.
+    const grid::BlendedField& field = scoring_field(i, g);
     if (config_.model == Model::kLem) {
         if (config_.scan.range > 1) {
-            return build_candidates_lem_scan_t(empty, blend_, config_.scan,
+            return build_candidates_lem_scan_t(empty, field, config_.scan,
                                                config_.grid, g, r, c,
                                                scan_.values(i),
                                                scan_.cells(i));
         }
-        return build_candidates_lem_t(empty, blend_, g, r, c,
+        return build_candidates_lem_t(empty, field, g, r, c,
                                       scan_.values(i), scan_.cells(i));
     }
     auto tau = [&](int rr, int cc) { return pher_->at(g, rr, cc); };
     if (config_.scan.range > 1) {
-        return build_candidates_aco_scan_t(empty, tau, blend_, config_.aco,
+        return build_candidates_aco_scan_t(empty, tau, field, config_.aco,
                                            config_.scan, config_.grid, g, r,
                                            c, scan_.values(i),
                                            scan_.cells(i));
     }
-    return build_candidates_aco_t(empty, tau, blend_, config_.aco, g, r, c,
+    return build_candidates_aco_t(empty, tau, field, config_.aco, g, r, c,
                                   scan_.values(i), scan_.cells(i));
 }
 
@@ -109,13 +139,31 @@ bool Simulator::decide_future(std::int32_t i) {
     }
 
     // Forward priority (section III): an empty forward cell is taken
-    // without any probabilistic calculation.
-    if (config_.forward_priority && props_.front_blocked[idx] == 0) {
-        const auto off = grid::kNeighborOffsets[static_cast<std::size_t>(
-            grid::forward_neighbor(g))];
-        props_.future_row[idx] = r + off.dr;
-        props_.future_col[idx] = c + off.dc;
-        return true;
+    // without any probabilistic calculation. While a waypoint chain is
+    // pending, "forward" is the neighbour descending the agent's CURRENT
+    // waypoint field (the chain's travel direction — the group's edge-ward
+    // cell would march agents past their checkpoints); once the chain is
+    // done it is the paper's group-forward cell. Both variants are pure
+    // functions of frozen per-step state, so engine/thread parity holds.
+    if (config_.forward_priority) {
+        if (!waypoint_pending(i)) {
+            if (props_.front_blocked[idx] == 0) {
+                const auto off = grid::kNeighborOffsets[
+                    static_cast<std::size_t>(grid::forward_neighbor(g))];
+                props_.future_row[idx] = r + off.dr;
+                props_.future_col[idx] = c + off.dc;
+                return true;
+            }
+        } else {
+            const int k = waypoint_forward_neighbor(i, g, r, c);
+            if (k >= 0) {
+                const auto off =
+                    grid::kNeighborOffsets[static_cast<std::size_t>(k)];
+                props_.future_row[idx] = r + off.dr;
+                props_.future_col[idx] = c + off.dc;
+                return true;
+            }
+        }
     }
 
     const int count = scan_.count(i);
@@ -153,6 +201,12 @@ void Simulator::fire_due_doors() {
 
 void Simulator::update_anticipation() {
     blend_ = grid::BlendedField(df_);
+    // Waypoint views track the same phase swap as df_ (fire_due_doors has
+    // already advanced next_door_ past everything due).
+    for (std::size_t slot = 0; slot < wp_blend_.size(); ++slot) {
+        wp_blend_[slot] = grid::BlendedField(
+            &doors_.waypoint_field_after(next_door_, slot));
+    }
     const int horizon = config_.anticipate.horizon;
     if (horizon <= 0) return;
     const auto& events = doors_.events();
@@ -165,14 +219,26 @@ void Simulator::update_anticipation() {
     // The next phase is the configuration after ALL events of that step.
     std::size_t j = next_door_;
     while (j < events.size() && events[j].step == next_step) ++j;
-    const grid::DistanceField* next = &doors_.field_after(j);
-    if (next == df_) return;  // revisited configuration: nothing to blend
     // Weight ramps from 1/(horizon+1) at the horizon edge to
     // horizon/(horizon+1) one step before the event — never 0 or 1, so
     // both phases always contribute inside the window.
     const double weight = 1.0 - static_cast<double>(remaining) /
                                     (static_cast<double>(horizon) + 1.0);
-    blend_ = grid::BlendedField(df_, next, weight);
+    const grid::DistanceField* next = &doors_.field_after(j);
+    if (next != df_) {  // revisited configuration: nothing to blend
+        blend_ = grid::BlendedField(df_, next, weight);
+    }
+    // Chained fields anticipate identically: an agent mid-chain pre-stages
+    // toward where its CURRENT waypoint will be reachable next phase.
+    for (std::size_t slot = 0; slot < wp_blend_.size(); ++slot) {
+        const grid::DistanceField* now =
+            &doors_.waypoint_field_after(next_door_, slot);
+        const grid::DistanceField* nxt =
+            &doors_.waypoint_field_after(j, slot);
+        if (nxt != now) {
+            wp_blend_[slot] = grid::BlendedField(now, nxt, weight);
+        }
+    }
 }
 
 void Simulator::apply_door(const DoorEvent& event) {
@@ -256,11 +322,15 @@ void Simulator::finish_step(const std::vector<Move>& moves,
         }
     }
 
-    // Crossing: agents within the margin of the target edge are done.
+    // Waypoint advancement, then crossing: agents within the margin of
+    // the target edge are done — but only once their chain is complete
+    // (an agent standing on its goal mid-chain keeps routing).
     const int margin = config_.effective_cross_margin();
     for (const auto& m : moves) {
         const auto idx = static_cast<std::size_t>(m.agent);
         if (props_.crossed[idx] != 0) continue;
+        result.waypoint_advances += advance_waypoints(m.agent);
+        if (waypoint_pending(m.agent)) continue;
         const grid::Group g = props_.group_of(m.agent);
         if (!df_->crossed_at(g, props_.row[idx], props_.col[idx], margin)) {
             continue;
@@ -278,6 +348,55 @@ void Simulator::finish_step(const std::vector<Move>& moves,
             props_.active[idx] = 0;
         }
     }
+}
+
+int Simulator::waypoint_forward_neighbor(std::int32_t i, grid::Group g,
+                                         int r, int c) const {
+    // The argmin of the waypoint field over the 8 neighbours plays the
+    // forward cell's role; ties keep the group's ranked visit order
+    // (strict < on a fixed iteration order — deterministic).
+    const grid::BlendedField& field = scoring_field(i, g);
+    int best_k = -1;
+    double best = 0.0;
+    for (const int k : grid::ranked_order(g)) {
+        const auto off = grid::kNeighborOffsets[static_cast<std::size_t>(k)];
+        const int nr = r + off.dr;
+        const int nc = c + off.dc;
+        if (!env_.in_bounds(nr, nc)) continue;
+        const double d = field.cost(g, nr, nc, off.dc);
+        if (best_k < 0 || d < best) {
+            best = d;
+            best_k = k;
+        }
+    }
+    if (best_k < 0) return -1;
+    const auto off = grid::kNeighborOffsets[static_cast<std::size_t>(best_k)];
+    // Like the paper's rule: only an EMPTY forward cell short-circuits;
+    // blocked falls through to the probabilistic scan-row draw.
+    return env_.walkable(r + off.dr, c + off.dc) ? best_k : -1;
+}
+
+int Simulator::advance_waypoints(std::int32_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const auto& chain = chain_for(props_.group_of(i));
+    if (chain.empty()) return 0;
+    const int radius = config_.layout.waypoint_radius;
+    const auto& cells = doors_.waypoint_cells();
+    int advanced = 0;
+    while (props_.waypoint[idx] < chain.size()) {
+        const auto cell = cells[chain[props_.waypoint[idx]]];
+        const int wr = static_cast<int>(cell) / config_.grid.cols;
+        const int wc = static_cast<int>(cell) % config_.grid.cols;
+        // Chebyshev (king-move) arrival test: pure geometry, so a door
+        // event can never retroactively change who has arrived.
+        if (std::max(std::abs(props_.row[idx] - wr),
+                     std::abs(props_.col[idx] - wc)) > radius) {
+            break;
+        }
+        ++props_.waypoint[idx];
+        ++advanced;
+    }
+    return advanced;
 }
 
 RunResult Simulator::run(int steps, const StepObserver& observer) {

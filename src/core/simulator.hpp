@@ -38,6 +38,10 @@ struct StepResult {
     int conflicts = 0;       ///< proposals lost to contention
     int crossed_top = 0;     ///< agents that crossed this step
     int crossed_bottom = 0;
+    /// Waypoint-chain advances this step, summed over agents (an agent
+    /// skipping several clustered waypoints counts each). 0 in scenarios
+    /// without waypoint chains.
+    int waypoint_advances = 0;
 
     bool operator==(const StepResult&) const = default;
 };
@@ -84,12 +88,32 @@ class Simulator {
     }
     /// The door-event schedule and its phase-cached fields.
     [[nodiscard]] const DoorSchedule& door_schedule() const { return doors_; }
-    /// The candidate-scoring view in effect this step: the current phase
-    /// field, blended toward the next phase within the anticipation
-    /// horizon (AnticipateConfig); identical to distance_field() when not
-    /// blending.
+    /// The candidate-scoring view in effect this step for agents with no
+    /// pending waypoint: the current phase field, blended toward the next
+    /// phase within the anticipation horizon (AnticipateConfig);
+    /// identical to distance_field() when not blending.
     [[nodiscard]] const grid::BlendedField& scoring_field() const {
         return blend_;
+    }
+    /// The candidate-scoring view steering agent i this step: the field
+    /// of its current waypoint while its chain is pending (phase-swapped
+    /// and anticipation-blended exactly like the final field), else
+    /// scoring_field(). The dump row (i <= 0) reads the final field.
+    [[nodiscard]] const grid::BlendedField& scoring_field(
+        std::int32_t i, grid::Group g) const {
+        if (i <= 0) return blend_;
+        const auto& chain = chain_for(g);
+        const auto w = props_.waypoint[static_cast<std::size_t>(i)];
+        if (w >= chain.size()) return blend_;
+        return wp_blend_[chain[w]];
+    }
+    /// True while agent i still has waypoints to visit. Such agents skip
+    /// the forward-priority shortcut (their target is wherever the chain
+    /// says, not the group's edge) and cannot cross.
+    [[nodiscard]] bool waypoint_pending(std::int32_t i) const {
+        if (i <= 0) return false;
+        return props_.waypoint[static_cast<std::size_t>(i)] <
+               chain_for(props_.group_of(i)).size();
     }
     /// Agents removed because a door closed on their cell.
     [[nodiscard]] std::size_t door_retired() const { return door_retired_; }
@@ -132,6 +156,13 @@ class Simulator {
         return config_.panic.active(step_) && config_.panic.affects(r, c);
     }
 
+    /// Agent i's group waypoint chain as slots into
+    /// DoorSchedule::waypoint_cells().
+    [[nodiscard]] const std::vector<std::uint32_t>& chain_for(
+        grid::Group g) const {
+        return chain_slots_[g == grid::Group::kTop ? 0 : 1];
+    }
+
     /// Shared emptiness test for stage-b candidate building via env.
     [[nodiscard]] bool cell_empty(int r, int c) const {
         return env_.walkable(r, c);
@@ -147,6 +178,13 @@ class Simulator {
     /// horizon, the next phase's field). Updated on the host thread at
     /// each step boundary; stages only read it.
     grid::BlendedField blend_;
+    /// Per-group waypoint chains resolved to slots in
+    /// doors_.waypoint_cells() ([0] = top, [1] = bottom).
+    std::array<std::vector<std::uint32_t>, 2> chain_slots_;
+    /// Per-slot scoring views (current phase's waypoint field, blended
+    /// toward the next phase inside the anticipation horizon). Updated on
+    /// the host thread alongside blend_; stages only read them.
+    std::vector<grid::BlendedField> wp_blend_;
     std::vector<grid::PlacedAgent> placed_;
     PropertyTable props_;
     ScanMatrix scan_;
@@ -169,6 +207,21 @@ class Simulator {
     /// toward the next phase as its event nears. Pure in step_, so every
     /// engine and thread count sees the same scoring field.
     void update_anticipation();
+    /// The waypoint-forward cell of agent i at (r, c): the neighbour
+    /// minimizing its current waypoint field (ranked visit order breaks
+    /// ties). Returns the 0-based neighbour index when that cell is
+    /// walkable, else -1 (fall through to the scan-row draw) — the
+    /// chain-pending analogue of the paper's forward-priority rule.
+    [[nodiscard]] int waypoint_forward_neighbor(std::int32_t i,
+                                                grid::Group g, int r,
+                                                int c) const;
+    /// Advance agent i's waypoint index past every chain entry within the
+    /// Chebyshev arrival radius of its current position (clustered
+    /// waypoints can advance several at once). Pure in (position, chain),
+    /// called from the shared finish_step (and once at construction for
+    /// agents spawned inside a radius), so engines and thread counts
+    /// agree. Returns the number of advances.
+    int advance_waypoints(std::int32_t i);
 
     std::size_t next_door_ = 0;
     std::size_t door_retired_ = 0;

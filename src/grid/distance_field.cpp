@@ -41,6 +41,16 @@ DistanceField::DistanceField(
     }
 }
 
+DistanceField DistanceField::shared_target(
+    GridConfig config, const std::vector<std::uint32_t>& wall_cells,
+    std::uint32_t target_cell) {
+    DistanceField f(config);
+    f.geodesic_ = true;
+    f.build_geodesic(Group::kTop, wall_cells, {target_cell});
+    f.geo_[1] = f.geo_[0];  // both groups share the target: one Dijkstra
+    return f;
+}
+
 void DistanceField::build_geodesic(Group g,
                                    const std::vector<std::uint32_t>& walls,
                                    const std::vector<std::uint32_t>& goals) {

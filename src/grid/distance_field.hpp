@@ -45,6 +45,18 @@ class DistanceField {
                   const std::vector<std::uint32_t>& wall_cells,
                   const std::array<std::vector<std::uint32_t>, 2>& goal_cells);
 
+    /// Geodesic shared-target mode: both groups steer toward the single
+    /// flat cell `target_cell` (the waypoint fields: one field per
+    /// distinct chain cell, read by whichever group's agents currently
+    /// target it). The Dijkstra runs once and the table is mirrored, so
+    /// a waypoint field costs half of the two-group constructor. A
+    /// target that is currently a wall yields an all-unreachable field
+    /// (a waypoint inside a closed door: agents hold by rank order until
+    /// it opens).
+    static DistanceField shared_target(
+        GridConfig config, const std::vector<std::uint32_t>& wall_cells,
+        std::uint32_t target_cell);
+
     [[nodiscard]] bool geodesic() const { return geodesic_; }
 
     [[nodiscard]] int target_row(Group g) const {

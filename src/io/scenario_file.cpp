@@ -108,6 +108,10 @@ std::string fmt_double(double v) {
 struct ParseState {
     bool saw_rows = false;
     bool saw_cols = false;
+    /// Waypoint chains as authored (row, col) pairs: the flat cell ids
+    /// need the FINAL grid dimensions, which a later map block may still
+    /// define, so packing happens at the end of the parse.
+    std::array<std::vector<std::pair<int, int>>, 2> waypoint_pairs;
 };
 
 void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
@@ -248,6 +252,28 @@ void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
                 value + "'");
         }
         sim.anticipate.horizon = h;
+    } else if (key == "waypoints") {
+        // Ordered chain: group then (row, col) pairs. Order is semantic
+        // (agents visit in list order); repeated lines append.
+        const auto f = split_ws(value);
+        if (f.size() < 3 || f.size() % 2 == 0) {
+            throw std::invalid_argument(
+                "scenario: waypoints wants 'group row col [row col ...]' "
+                "with at least one cell");
+        }
+        const grid::Group g = to_group(f[0]);
+        auto& chain = st.waypoint_pairs[g == grid::Group::kTop ? 0 : 1];
+        for (std::size_t k = 1; k + 1 < f.size(); k += 2) {
+            chain.emplace_back(to_int32(key, f[k]), to_int32(key, f[k + 1]));
+        }
+    } else if (key == "waypoint_radius") {
+        const int radius = to_int32(key, value);
+        if (radius < 0) {
+            throw std::invalid_argument(
+                "scenario: waypoint_radius must be non-negative: '" + value +
+                "'");
+        }
+        sim.layout.waypoint_radius = radius;
     } else if (key == "spawn") {
         const auto f = split_ws(value);
         if (f.size() != 6) {
@@ -376,6 +402,23 @@ scenario::Scenario parse_scenario(const std::string& text) {
             "scenario: grid dimensions must be positive multiples of the "
             "16-cell tile edge");
     }
+    // Pack waypoint (row, col) pairs against the final grid; bounds (and
+    // wall-disjointness) are checked by canonicalize below.
+    for (std::size_t g = 0; g < 2; ++g) {
+        for (const auto& [r, c] : st.waypoint_pairs[g]) {
+            if (r < 0 || c < 0 || r >= s.sim.grid.rows ||
+                c >= s.sim.grid.cols) {
+                throw std::invalid_argument(
+                    "scenario: waypoint cell (" + std::to_string(r) + ", " +
+                    std::to_string(c) + ") off the " +
+                    std::to_string(s.sim.grid.rows) + "x" +
+                    std::to_string(s.sim.grid.cols) + " grid");
+            }
+            s.sim.layout.waypoints[g].push_back(static_cast<std::uint32_t>(
+                static_cast<std::size_t>(r) * s.sim.grid.cols +
+                static_cast<std::size_t>(c)));
+        }
+    }
     scenario::canonicalize(s.sim.layout, s.sim.grid);
     // Dynamic-geometry rects and parameters can only be checked once the
     // grid is final (a map block may define the dimensions after the
@@ -438,6 +481,22 @@ std::string to_text_canonical(const scenario::Scenario& s) {
         os << "spawn = " << group_name(r.group) << " " << r.row0 << " "
            << r.col0 << " " << r.row1 << " " << r.col1 << " " << r.count
            << "\n";
+    }
+    // Waypoint chains serialize in visit order (they are ordered data,
+    // never canonicalized); the radius only when it differs from the
+    // default, so waypoint-free files are byte-identical to before.
+    if (sim.layout.waypoint_radius != core::ScenarioLayout{}.waypoint_radius) {
+        os << "waypoint_radius = " << sim.layout.waypoint_radius << "\n";
+    }
+    for (std::size_t g = 0; g < 2; ++g) {
+        const auto& chain = sim.layout.waypoints[g];
+        if (chain.empty()) continue;
+        os << "waypoints = " << (g == 0 ? "top" : "bottom");
+        for (const auto cell : chain) {
+            os << " " << static_cast<int>(cell) / sim.grid.cols << " "
+               << static_cast<int>(cell) % sim.grid.cols;
+        }
+        os << "\n";
     }
     if (sim.anticipate.horizon > 0) {
         os << "anticipate = " << sim.anticipate.horizon << "\n";

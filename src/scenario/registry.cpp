@@ -266,6 +266,85 @@ Scenario prestaged_evacuation() {
     return s;
 }
 
+/// Waypoint slalom: both groups must zigzag through three ordered
+/// checkpoints (opposite corners for the two directions) before their
+/// edge goal counts. No walls — the FINAL field stays analytic while the
+/// chained waypoint fields are geodesic, exercising the mixed mode. The
+/// acceptance scenario for multi-goal routing: three waypoints, in order,
+/// on both groups.
+Scenario relay_race() {
+    Scenario s;
+    s.name = "relay_race";
+    s.description =
+        "48x48 bidirectional corridor where each group slaloms through 3 "
+        "ordered waypoints (radius 6) before its edge goal counts";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    s.sim.agents_per_side = 100;
+    s.sim.layout.waypoint_radius = 6;
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 12, 14);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 24, 34);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 36, 14);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 36, 34);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 24, 14);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 12, 34);
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 240;
+    return s;
+}
+
+/// Two offset "stairwell landings" (gaps in full-width walls) chained as
+/// waypoints, then a final approach checkpoint before the exit: the
+/// checkpoint -> stairwell -> exit evacuation workload. ACO, so trails
+/// have to follow the chained geodesic fields through both gaps.
+Scenario stairwell_evacuation() {
+    Scenario s;
+    s.name = "stairwell_evacuation";
+    s.description =
+        "48x48 building with two offset stairwell gaps chained as "
+        "waypoints; 100 agents evacuate to a south exit, ACO routing";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    s.sim.model = core::Model::kAco;
+    add_wall_rect(s.sim.layout, s.sim.grid, 16, 0, 16, 33);   // floor 1 ...
+    add_wall_rect(s.sim.layout, s.sim.grid, 16, 40, 16, 47);  // ... gap 34-39
+    add_wall_rect(s.sim.layout, s.sim.grid, 32, 0, 32, 5);    // floor 2 ...
+    add_wall_rect(s.sim.layout, s.sim.grid, 32, 12, 32, 47);  // ... gap 6-11
+    add_goal_rect(s.sim.layout, s.sim.grid, grid::Group::kTop, 47, 32, 47,
+                  43);
+    s.sim.layout.waypoint_radius = 3;
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 16, 37);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 32, 8);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 40, 36);
+    s.sim.layout.spawns.push_back({grid::Group::kTop, 2, 2, 12, 45, 100});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 300;
+    return s;
+}
+
+/// Waypoints + dynamic geometry: both groups pass the same two mid-grid
+/// checkpoints (in opposite order — the cells dedupe to two shared
+/// fields) on either side of a pulsing gate, so every chained field is
+/// phase-cached across the cycle's two wall configurations and swaps
+/// mid-chain when the gate fires.
+Scenario checkpoint_loop() {
+    Scenario s;
+    s.name = "checkpoint_loop";
+    s.description =
+        "64x64 corridor with two shared checkpoints either side of a "
+        "16-wide gate pulsing open 20 of every 40 steps";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 100;
+    add_wall_rect(s.sim.layout, s.sim.grid, 31, 0, 32, 63);
+    s.sim.cycles.push_back({20, 40, 20, 31, 24, 32, 39, 5});
+    s.sim.layout.waypoint_radius = 7;
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 24, 32);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 40, 32);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 40, 32);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 24, 32);
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 280;
+    return s;
+}
+
 using Builder = Scenario (*)();
 
 constexpr std::pair<const char*, Builder> kBuiltins[] = {
@@ -282,6 +361,9 @@ constexpr std::pair<const char*, Builder> kBuiltins[] = {
     {"pulsing_gate", pulsing_gate},
     {"conveyor_platform", conveyor_platform},
     {"prestaged_evacuation", prestaged_evacuation},
+    {"relay_race", relay_race},
+    {"stairwell_evacuation", stairwell_evacuation},
+    {"checkpoint_loop", checkpoint_loop},
 };
 
 }  // namespace

@@ -79,6 +79,9 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
         rec.cycle_events = static_cast<int>(cfg.cycles.size());
         rec.mover_events = static_cast<int>(cfg.movers.size());
         rec.anticipate_horizon = cfg.anticipate.horizon;
+        rec.waypoint_cells =
+            static_cast<int>(cfg.layout.waypoints[0].size() +
+                             cfg.layout.waypoints[1].size());
         rec.result = sim->run(steps);
         rec.fingerprint = position_fingerprint(*sim);
         return rec;
@@ -145,9 +148,9 @@ std::vector<RunRecord> ScenarioRunner::run_registry() const {
 std::string ScenarioRunner::summary_table(
     const std::vector<RunRecord>& records) {
     io::TablePrinter table({"scenario", "engine", "model", "seed", "steps",
-                            "doors", "cycles", "movers", "antic", "crossed",
-                            "moves", "conflicts", "wall_s", "steps_per_s",
-                            "modeled_s", "fingerprint"});
+                            "doors", "cycles", "movers", "antic", "wps",
+                            "crossed", "moves", "conflicts", "wall_s",
+                            "steps_per_s", "modeled_s", "fingerprint"});
     for (const auto& r : records) {
         char fp[20];
         std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
@@ -161,6 +164,7 @@ std::string ScenarioRunner::summary_table(
              std::to_string(r.door_events), std::to_string(r.cycle_events),
              std::to_string(r.mover_events),
              std::to_string(r.anticipate_horizon),
+             std::to_string(r.waypoint_cells),
              io::TablePrinter::integer(
                  static_cast<long long>(r.result.crossed_total())),
              io::TablePrinter::integer(

@@ -57,6 +57,9 @@ struct RunRecord {
     int mover_events = 0;
     /// Anticipatory-routing horizon of the run (0 = blending off).
     int anticipate_horizon = 0;
+    /// Authored waypoint-chain cells across both groups (0 = no chains) —
+    /// the multi-goal workload axis for throughput-vs-waypoint sweeps.
+    int waypoint_cells = 0;
     core::RunResult result;
     /// Position fingerprint of the final state; equal across engines for
     /// the same (scenario, model, seed, steps).

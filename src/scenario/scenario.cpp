@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/door_schedule.hpp"
+
 namespace pedsim::scenario {
 
 namespace {
@@ -43,6 +45,19 @@ void add_goal_rect(core::ScenarioLayout& layout, const grid::GridConfig& grid,
              row0, col0, row1, col1);
 }
 
+void add_waypoint(core::ScenarioLayout& layout, const grid::GridConfig& grid,
+                  grid::Group group, int row, int col) {
+    if (group != grid::Group::kTop && group != grid::Group::kBottom) {
+        throw std::invalid_argument("waypoint needs a real group");
+    }
+    if (row < 0 || col < 0 || row >= grid.rows || col >= grid.cols) {
+        throw std::invalid_argument("waypoint cell out of bounds");
+    }
+    layout.waypoints[group == grid::Group::kTop ? 0 : 1].push_back(
+        static_cast<std::uint32_t>(static_cast<std::size_t>(row) * grid.cols +
+                                   static_cast<std::size_t>(col)));
+}
+
 void canonicalize(core::ScenarioLayout& layout, const grid::GridConfig& grid) {
     const auto cells = grid.cell_count();
     sort_dedupe(layout.wall_cells);
@@ -61,6 +76,10 @@ void canonicalize(core::ScenarioLayout& layout, const grid::GridConfig& grid) {
             }
         }
     }
+    // Waypoint chains are ORDERED (never sorted here); validation is the
+    // same check the engines run at setup, so a canonical scenario is a
+    // runnable one.
+    core::validate_waypoints(layout, grid);
 }
 
 }  // namespace pedsim::scenario

@@ -32,6 +32,10 @@ void add_wall_rect(core::ScenarioLayout& layout, const grid::GridConfig& grid,
 void add_goal_rect(core::ScenarioLayout& layout, const grid::GridConfig& grid,
                    grid::Group group, int row0, int col0, int row1, int col1);
 
+/// Append cell (row, col) to `group`'s ordered waypoint chain.
+void add_waypoint(core::ScenarioLayout& layout, const grid::GridConfig& grid,
+                  grid::Group group, int row, int col);
+
 /// Sort + dedupe the layout's cell lists into row-major order — the form
 /// the scenario-file parser produces, so canonical scenarios round-trip
 /// through text to equality. Throws if a cell is both wall and goal.

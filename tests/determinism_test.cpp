@@ -53,11 +53,14 @@ std::vector<int> thread_counts() {
 /// (for panic_crossing) the alarm, small enough to keep the suite quick.
 /// Dynamic-geometry scenarios extend the budget past their last EXPANDED
 /// event (doors plus every cycle/mover firing), so every wall toggle and
-/// phase-field swap happens inside the compared window.
+/// phase-field swap happens inside the compared window; waypoint
+/// scenarios extend past their last chain advance (floor 300, pinned by
+/// waypoint_test), so every advancement lands inside it too.
 int budget_for(const scenario::Scenario& s) {
     return pedsim::testing::budget_past_events(s, /*base_small=*/80,
                                                /*base_large=*/25,
-                                               /*margin=*/30);
+                                               /*margin=*/30,
+                                               /*waypoint_floor=*/300);
 }
 
 struct Trace {

@@ -51,12 +51,15 @@ struct GoldenRow {
 };
 
 /// Deterministic per-scenario budget: past the last EXPANDED dynamic
-/// event (+20 settling steps), capped small for the 480x480 baseline.
+/// event (+20 settling steps), past the last waypoint advance for
+/// chained scenarios (floor 280 — waypoint_test pins that registry
+/// chains complete within it), capped small for the 480x480 baseline.
 /// Changing these constants invalidates the corpus — regenerate it.
 int golden_steps(const scenario::Scenario& s) {
     return pedsim::testing::budget_past_events(s, /*base_small=*/60,
                                                /*base_large=*/25,
-                                               /*margin=*/20);
+                                               /*margin=*/20,
+                                               /*waypoint_floor=*/280);
 }
 
 std::vector<GoldenRow> compute_corpus() {

@@ -1,8 +1,8 @@
 // Property-based tests for the scenario-file format: a seeded
 // Philox-backed generator (rng::Stream — no new dependencies) emits
 // random valid scenarios spanning every feature axis (walls, goals,
-// spawns, doors, cycles, movers, anticipation, panic, model parameters),
-// and each must satisfy the serializer's contract:
+// spawns, doors, cycles, movers, anticipation, panic, waypoint chains,
+// model parameters), and each must satisfy the serializer's contract:
 //
 //   parse(serialize(s)) == s          (round trip to equality)
 //   serialize(parse(serialize(s))) == serialize(s)   (textual fixed point)
@@ -140,6 +140,21 @@ scenario::Scenario random_scenario(std::uint64_t index) {
             draw_int(s, 1, std::max(1, std::min(room, 6))));
         sim.movers.push_back(mv);
     }
+    // Waypoint chains: ORDERED (row, col) sequences per group, kept on
+    // the wall-free rows (walls live in [2, rows-4]) so the wall/waypoint
+    // disjointness validation always holds. Order is deliberately
+    // scrambled across rows — the round trip must preserve it, not
+    // canonicalize it away.
+    if (s.next_below(2)) sim.layout.waypoint_radius = draw_int(s, 0, 6);
+    for (std::size_t g = 0; g < 2; ++g) {
+        const int safe_rows[3] = {1, rows - 3, rows - 2};
+        for (int n = draw_int(s, 0, 3); n > 0; --n) {
+            scenario::add_waypoint(
+                sim.layout, sim.grid,
+                g == 0 ? grid::Group::kTop : grid::Group::kBottom,
+                safe_rows[draw_int(s, 0, 2)], draw_int(s, 0, cols - 1));
+        }
+    }
     sim.anticipate.horizon = s.next_below(2) ? draw_int(s, 1, 60) : 0;
     if (s.next_below(2)) {
         sim.panic.enabled = true;
@@ -189,6 +204,46 @@ TEST(ScenarioProperty, GeneratedDynamicEventsSurviveTheRoundTrip) {
     EXPECT_GT(cycles, 0);
     EXPECT_GT(movers, 0);
     EXPECT_GT(anticipating, 0);
+}
+
+TEST(ScenarioProperty, GeneratedWaypointChainsSurviveTheRoundTrip) {
+    // The generator exercises the waypoint axis, and chains come back in
+    // authored order with their radius intact.
+    int chained = 0, nondefault_radius = 0;
+    for (std::uint64_t i = 0; i < kCases; ++i) {
+        const auto sc = random_scenario(i);
+        const auto back = io::parse_scenario(io::scenario_to_text(sc));
+        ASSERT_EQ(back.sim.layout.waypoints, sc.sim.layout.waypoints)
+            << "case " << i;
+        ASSERT_EQ(back.sim.layout.waypoint_radius,
+                  sc.sim.layout.waypoint_radius)
+            << "case " << i;
+        chained += sc.sim.layout.has_waypoints();
+        nondefault_radius += sc.sim.layout.waypoint_radius != 1;
+    }
+    EXPECT_GT(chained, 0);
+    EXPECT_GT(nondefault_radius, 0);
+}
+
+TEST(ScenarioProperty, ParserRejectsMalformedWaypointLines) {
+    // Empty chain.
+    EXPECT_THROW(io::parse_scenario("waypoints = top\n"),
+                 std::invalid_argument);
+    // Out-of-bounds waypoint cell (default 480x480 grid).
+    EXPECT_THROW(io::parse_scenario("waypoints = bottom 12 480\n"),
+                 std::invalid_argument);
+    // Waypoint on a wall: cell (0, 0) is painted '#' by the map below.
+    EXPECT_THROW(io::parse_scenario(
+                     "waypoints = top 0 0\nmap:\n"
+                     "#...............\n................\n"
+                     "................\n................\n"
+                     "................\n................\n"
+                     "................\n................\n"
+                     "................\n................\n"
+                     "................\n................\n"
+                     "................\n................\n"
+                     "................\n................\n"),
+                 std::invalid_argument);
 }
 
 TEST(ScenarioProperty, ParserRejectsMalformedCycleLines) {

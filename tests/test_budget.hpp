@@ -1,10 +1,13 @@
 // Shared step-budget helper for the determinism and golden harnesses:
 // base budget by grid size, extended past the last EXPANDED dynamic
 // event (doors plus every cycle/mover firing) so all wall toggles and
-// phase-field swaps happen inside the compared window. The two suites
-// pick different base/margin constants (golden runs leaner), but the
-// loop logic lives once so a new event axis cannot silently shrink one
-// harness's window.
+// phase-field swaps happen inside the compared window, and past the
+// last waypoint advance for scenarios with chains (the advance step is
+// dynamic, so the floor is a tuned constant per suite — waypoint_test
+// pins that the registry chains actually complete inside their budget).
+// The suites pick different base/margin constants (golden runs leaner),
+// but the loop logic lives once so a new event axis cannot silently
+// shrink one harness's window.
 #pragma once
 
 #include <algorithm>
@@ -15,11 +18,15 @@
 namespace pedsim::testing {
 
 inline int budget_past_events(const scenario::Scenario& s, int base_small,
-                              int base_large, int margin) {
+                              int base_large, int margin,
+                              int waypoint_floor = 0) {
     int budget = s.sim.grid.rows >= 256 ? base_large : base_small;
     for (const auto& e : core::expand_dynamic_events(
              s.sim.doors, s.sim.cycles, s.sim.movers, s.sim.grid)) {
         budget = std::max(budget, static_cast<int>(e.step) + margin);
+    }
+    if (s.sim.layout.has_waypoints()) {
+        budget = std::max(budget, waypoint_floor);
     }
     return budget;
 }
