@@ -18,6 +18,8 @@
 #include "io/args.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "obs/cli.hpp"
+#include "obs/clock.hpp"
 
 namespace pedsim::bench {
 
@@ -38,6 +40,8 @@ inline std::size_t scaled_agents_per_side(int density_index, int grid_edge) {
 }
 
 struct TimedRun {
+    // Host seconds come from core::Simulator::run, which reads the shared
+    // obs::Stopwatch clock — bench columns and trace spans agree on time.
     double wall_seconds_per_step = 0.0;     ///< measured host seconds
     double modeled_seconds_per_step = 0.0;  ///< device model (GPU engine)
     std::size_t crossed = 0;

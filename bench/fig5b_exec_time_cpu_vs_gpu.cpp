@@ -31,6 +31,7 @@ std::vector<int> parse_densities(const std::string& csv) {
 
 int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
+    obs::ObsSession session(args);
     const bool paper = args.get_bool("paper", false);
     const int warmup = static_cast<int>(args.get_int("warmup", 5));
     const int measure =

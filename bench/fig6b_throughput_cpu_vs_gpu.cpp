@@ -24,6 +24,7 @@ using namespace pedsim;
 
 int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
+    obs::ObsSession session(args);
     const bool paper = args.get_bool("paper", false);
     const int grid = static_cast<int>(args.get_int("grid", paper ? 480 : 96));
     const int steps =

@@ -14,14 +14,20 @@
 //   ./scenario_suite --threads=4             # batch runs as pool jobs
 //   ./scenario_suite --file=my.scenario     # run a scenario file instead
 //   ./scenario_suite --csv=out.csv          # also dump CSV
-#include <chrono>
+//   ./scenario_suite --json=BENCH.json      # perf-trajectory artifact
+//   ./scenario_suite --trace=out.json --metrics   # observability
+#include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "io/args.hpp"
 #include "io/csv.hpp"
+#include "io/json.hpp"
 #include "io/scenario_file.hpp"
+#include "obs/cli.hpp"
+#include "obs/clock.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 
@@ -44,6 +50,81 @@ std::vector<std::string> split_csv(const std::string& s) {
     return out;
 }
 
+/// The perf-trajectory artifact (schema "pedsim-bench-v1", documented in
+/// docs/OBSERVABILITY.md): one run object per scenario x engine x repeat
+/// with setup/stepping wall time split and throughput. Key set and
+/// meanings are stable across PRs so BENCH_*.json files diff cleanly.
+std::string bench_json(const std::vector<scenario::RunRecord>& records,
+                       const scenario::RunnerOptions& opts,
+                       double batch_wall_s) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("pedsim-bench-v1");
+    w.key("suite");
+    w.value("scenario_suite");
+    w.key("threads");
+    w.value(opts.threads);
+    w.key("engine_threads");
+    w.value(opts.engine_threads);
+    w.key("repeats");
+    w.value(opts.repeats);
+    w.key("batch_wall_s");
+    w.value(batch_wall_s);
+    w.key("runs");
+    w.begin_array();
+    for (const auto& r : records) {
+        const double sps = r.result.wall_seconds > 0.0
+                               ? r.result.steps_run / r.result.wall_seconds
+                               : 0.0;
+        char fp[20];
+        std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+        w.begin_object();
+        w.key("scenario");
+        w.value(r.scenario);
+        w.key("engine");
+        w.value(scenario::engine_name(r.engine));
+        w.key("model");
+        w.value(r.model == core::Model::kLem ? "lem" : "aco");
+        w.key("seed");
+        w.value(r.seed);
+        w.key("steps");
+        w.value(r.steps);
+        w.key("threads");
+        w.value(r.engine_threads);
+        w.key("doors");
+        w.value(r.door_events);
+        w.key("cycles");
+        w.value(r.cycle_events);
+        w.key("movers");
+        w.value(r.mover_events);
+        w.key("anticipate");
+        w.value(r.anticipate_horizon);
+        w.key("waypoints");
+        w.value(r.waypoint_cells);
+        w.key("crossed");
+        w.value(static_cast<std::int64_t>(r.result.crossed_total()));
+        w.key("moves");
+        w.value(r.result.total_moves);
+        w.key("conflicts");
+        w.value(r.result.total_conflicts);
+        w.key("setup_s");
+        w.value(r.setup_seconds);
+        w.key("wall_s");
+        w.value(r.result.wall_seconds);
+        w.key("steps_per_s");
+        w.value(sps);
+        w.key("modeled_s");
+        w.value(r.result.modeled_device_seconds);
+        w.key("fingerprint");
+        w.value(fp);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,7 +144,10 @@ int main(int argc, char** argv) {
             "                   each scenario's own policy; only effective\n"
             "                   with --threads=1 — in a parallel batch,\n"
             "                   nested dispatches run inline)\n"
-            "  --csv=PATH       also write the records as CSV");
+            "  --csv=PATH       also write the records as CSV\n"
+            "  --json=PATH      write the perf-trajectory JSON artifact\n"
+            "                   (schema pedsim-bench-v1)");
+        std::puts(obs::cli_help());
         return 0;
     }
 
@@ -117,12 +201,12 @@ int main(int argc, char** argv) {
         }
     }
 
+    obs::ObsSession session(args);
     const scenario::ScenarioRunner runner(opts);
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch batch_watch;
     const auto records = runner.run(scenarios);
-    const double batch_wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double batch_wall = batch_watch.seconds();
+    session.finish();
     std::fputs(scenario::ScenarioRunner::summary_table(records).c_str(),
                stdout);
     std::printf("\nbatch: %zu runs in %.3f s at %d thread(s)\n",
@@ -132,8 +216,8 @@ int main(int argc, char** argv) {
         io::CsvWriter csv(args.get("csv"));
         csv.header({"scenario", "engine", "model", "seed", "steps",
                     "threads", "doors", "cycles", "movers", "anticipate",
-                    "waypoints", "crossed", "moves", "conflicts", "wall_s",
-                    "steps_per_s", "modeled_s", "batch_wall_s",
+                    "waypoints", "crossed", "moves", "conflicts", "setup_s",
+                    "wall_s", "steps_per_s", "modeled_s", "batch_wall_s",
                     "fingerprint"});
         for (const auto& r : records) {
             char fp[20];
@@ -148,10 +232,23 @@ int main(int argc, char** argv) {
                     r.steps, opts.threads, r.door_events, r.cycle_events,
                     r.mover_events, r.anticipate_horizon, r.waypoint_cells,
                     r.result.crossed_total(), r.result.total_moves,
-                    r.result.total_conflicts, r.result.wall_seconds, sps,
+                    r.result.total_conflicts, r.setup_seconds,
+                    r.result.wall_seconds, sps,
                     r.result.modeled_device_seconds, batch_wall, fp);
         }
         std::printf("\nwrote %s\n", args.get("csv").c_str());
+    }
+
+    if (args.has("json")) {
+        const std::string path = args.get("json");
+        std::ofstream out(path);
+        out << bench_json(records, opts, batch_wall) << "\n";
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s\n", path.c_str());
     }
     return 0;
 }

@@ -11,13 +11,14 @@
 //   ./waypoint_sweep                         # defaults: 0..6, both engines
 //   ./waypoint_sweep --max-waypoints=8 --steps=200 --threads=4
 //   ./waypoint_sweep --csv=waypoints.csv
-#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "io/args.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "obs/cli.hpp"
+#include "obs/clock.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 
@@ -60,8 +61,10 @@ int main(int argc, char** argv) {
             "  --threads=N        engine threads (default 1)\n"
             "  --engines=LIST     cpu,gpu (default both)\n"
             "  --csv=PATH         also write the records as CSV");
+        std::puts(obs::cli_help());
         return 0;
     }
+    obs::ObsSession session(args);
     const int max_wps = static_cast<int>(args.get_int("max-waypoints", 6));
     const int agents = static_cast<int>(args.get_int("agents", 150));
     const int steps = static_cast<int>(args.get_int("steps", 200));
@@ -90,12 +93,9 @@ int main(int argc, char** argv) {
     for (int k = 0; k <= max_wps; ++k) {
         const auto s = make_case(k, agents, threads);
         for (const auto engine : engines) {
-            const auto t0 = std::chrono::steady_clock::now();
+            const obs::Stopwatch setup_watch;
             const auto sim = scenario::make_engine(engine, s.sim);
-            const double setup_s =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+            const double setup_s = setup_watch.seconds();
             long long advances = 0;
             const auto rr =
                 sim->run(steps, [&](const core::StepResult& sr) {
@@ -122,6 +122,7 @@ int main(int argc, char** argv) {
                            std::to_string(advances), fp});
         }
     }
+    session.finish();
     std::fputs(table.str().c_str(), stdout);
 
     if (args.has("csv")) {

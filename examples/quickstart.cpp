@@ -12,6 +12,7 @@
 #include "core/metrics.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
+#include "obs/cli.hpp"
 
 using namespace pedsim;
 
@@ -26,8 +27,10 @@ int main(int argc, char** argv) {
             "  --seed=N     RNG seed (default 42)\n"
             "  --threads=N  host threads for both engines (default: hardware\n"
             "               concurrency; results identical at any N)");
+        std::puts(obs::cli_help());
         return 0;
     }
+    obs::ObsSession session(args);
 
     core::SimConfig cfg;
     cfg.grid.rows = cfg.grid.cols = static_cast<int>(args.get_int("grid", 96));

@@ -12,6 +12,7 @@
 #include "io/args.hpp"
 #include "io/ascii_render.hpp"
 #include "io/scenario_file.hpp"
+#include "obs/cli.hpp"
 #include "scenario/registry.hpp"
 
 using namespace pedsim;
@@ -28,8 +29,10 @@ int main(int argc, char** argv) {
             "  --preview=N   run N steps before rendering (0 = placement "
             "only)\n"
             "  --threads=N   host threads for the preview runs");
+        std::puts(obs::cli_help());
         return 0;
     }
+    obs::ObsSession session(args);
 
     std::vector<std::string> wanted = args.positional();
     if (wanted.empty()) wanted = scenario::names();

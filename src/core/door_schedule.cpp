@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pedsim::core {
 
 namespace {
@@ -165,6 +168,11 @@ std::vector<DoorEvent> expand_dynamic_events(
 }
 
 DoorSchedule::DoorSchedule(const SimConfig& config) {
+    obs::Span span("setup/door_schedule");
+    // Touch both cache counters up front so the summary's derived hit-rate
+    // line prints even for schedules that never hit (or never miss).
+    obs::MetricsRegistry::add("doors.field_cache.hit", 0);
+    obs::MetricsRegistry::add("doors.field_cache.miss", 0);
     events_ = expand_dynamic_events(config.doors, config.cycles,
                                     config.movers, config.grid);
     std::stable_sort(events_.begin(), events_.end(),
@@ -211,25 +219,36 @@ DoorSchedule::DoorSchedule(const SimConfig& config) {
         // whole chained-field set is shared along with the main field.
         for (std::size_t j = 0; j < walls_after_.size(); ++j) {
             if (walls_after_[j] == walls) {
+                obs::MetricsRegistry::add("doors.field_cache.hit");
                 walls_after_.push_back(std::move(walls));
                 after_.push_back(after_[j]);
                 wp_after_.push_back(wp_after_[j]);
                 return;
             }
         }
-        pool_.push_back(
-            geodesic ? std::make_unique<grid::DistanceField>(
-                           config.grid, walls, config.layout.goal_cells)
-                     : std::make_unique<grid::DistanceField>(config.grid));
+        obs::MetricsRegistry::add("doors.field_cache.miss");
+        {
+            obs::Span build("setup/field_build", "walls",
+                            static_cast<std::int64_t>(walls.size()));
+            pool_.push_back(
+                geodesic
+                    ? std::make_unique<grid::DistanceField>(
+                          config.grid, walls, config.layout.goal_cells)
+                    : std::make_unique<grid::DistanceField>(config.grid));
+        }
         std::vector<const grid::DistanceField*> wps;
         wps.reserve(wp_cells_.size());
-        for (const auto cell : wp_cells_) {
-            // Always geodesic: a waypoint is a single in-grid target, and
-            // its field must honour whatever walls this phase has.
-            wp_pool_.push_back(std::make_unique<grid::DistanceField>(
-                grid::DistanceField::shared_target(config.grid, walls,
-                                                   cell)));
-            wps.push_back(wp_pool_.back().get());
+        if (!wp_cells_.empty()) {
+            obs::Span build("setup/waypoint_fields", "cells",
+                            static_cast<std::int64_t>(wp_cells_.size()));
+            for (const auto cell : wp_cells_) {
+                // Always geodesic: a waypoint is a single in-grid target,
+                // and its field must honour whatever walls this phase has.
+                wp_pool_.push_back(std::make_unique<grid::DistanceField>(
+                    grid::DistanceField::shared_target(config.grid, walls,
+                                                       cell)));
+                wps.push_back(wp_pool_.back().get());
+            }
         }
         wp_after_.push_back(std::move(wps));
         walls_after_.push_back(std::move(walls));

@@ -1,6 +1,9 @@
 #include "core/gpu_simulator.hpp"
 
+#include <string>
+
 #include "core/rules.hpp"
+#include "obs/metrics.hpp"
 #include "simt/launch.hpp"
 #include "simt/shared_tile.hpp"
 
@@ -60,6 +63,20 @@ void GpuSimulator::record(const char* name, simt::Dim2 grid, simt::Dim2 block,
     rec.block_y = block.y;
     rec.modeled_seconds = timing_.seconds(stats);
     rec.stats = std::move(stats);
+    if (auto* mx = obs::MetricsRegistry::active()) {
+        // Per-kernel rollups of the modeled-device launch log, so a
+        // metrics report answers "which kernel dominates" without
+        // replaying the full log.
+        const std::string base = std::string("kernel.") + name;
+        const auto& ks = rec.stats;
+        mx->counter(base + ".launches").add(1);
+        mx->counter(base + ".blocks").add(ks.blocks);
+        mx->counter(base + ".warp_instructions").add(ks.warp_instructions);
+        mx->counter(base + ".divergent_branches").add(ks.divergent_branches);
+        mx->counter(base + ".global_transactions").add(ks.global_transactions);
+        mx->counter(base + ".modeled_ns")
+            .add(static_cast<std::uint64_t>(rec.modeled_seconds * 1e9));
+    }
     log_.add(std::move(rec));
 }
 

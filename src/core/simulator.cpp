@@ -1,15 +1,18 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 
 #include "core/rules.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pedsim::core {
 
 std::vector<grid::PlacedAgent> Simulator::init_agents(
     grid::Environment& env, const SimConfig& config) {
+    obs::Span span("setup/placement");
     // Static walls go in first so both placement modes sample around them.
     for (const auto cell : config.layout.wall_cells) {
         if (cell >= config.grid.cell_count()) {
@@ -190,10 +193,13 @@ void Simulator::fire_due_doors() {
     if (next_door_ >= events.size() || events[next_door_].step > step_) {
         return;
     }
+    std::uint64_t fired = 0;
     while (next_door_ < events.size() && events[next_door_].step <= step_) {
         apply_door(events[next_door_]);
         ++next_door_;
+        ++fired;
     }
+    obs::MetricsRegistry::add("doors.events_fired", fired);
     // O(1) hot-path cost: the phase's geodesic field was precomputed at
     // construction, so an event is wall toggles plus this pointer swap.
     df_ = &doors_.field_after(next_door_);
@@ -216,6 +222,7 @@ void Simulator::update_anticipation() {
     const std::uint64_t next_step = events[next_door_].step;
     const std::uint64_t remaining = next_step - step_;
     if (remaining > static_cast<std::uint64_t>(horizon)) return;
+    obs::MetricsRegistry::add("blend.active_steps");
     // The next phase is the configuration after ALL events of that step.
     std::size_t j = next_door_;
     while (j < events.size() && events[j].step == next_step) ++j;
@@ -263,6 +270,10 @@ void Simulator::apply_door(const DoorEvent& event) {
 }
 
 StepResult Simulator::step() {
+    obs::Span span("step", "n", static_cast<std::int64_t>(step_));
+    auto* const mx = obs::MetricsRegistry::active();
+    const std::uint64_t t0 = mx ? obs::now_ns() : 0;
+
     StepResult res;
     res.step = step_;
 
@@ -270,12 +281,27 @@ StepResult Simulator::step() {
     // environment. The SIMT engine rebuilds its global-memory views (and
     // halo tiles) from env_ every launch, so the new kWallOcc cells flow
     // into both engines identically.
-    fire_due_doors();
-    update_anticipation();
+    {
+        obs::Span s("step/door_events");
+        fire_due_doors();
+    }
+    {
+        obs::Span s("step/anticipate");
+        update_anticipation();
+    }
 
-    stage_reset();
-    stage_initial_calc();
-    stage_tour_construction();
+    {
+        obs::Span s("stage/reset");
+        stage_reset();
+    }
+    {
+        obs::Span s("stage/initial_calc");
+        stage_initial_calc();
+    }
+    {
+        obs::Span s("stage/tour_construction");
+        stage_tour_construction();
+    }
 
     for (std::size_t i = 1; i < props_.rows(); ++i) {
         res.proposals += (props_.active[i] != 0 &&
@@ -283,8 +309,26 @@ StepResult Simulator::step() {
     }
 
     std::vector<Move> moves;
-    stage_movement(moves);
-    finish_step(moves, res);
+    {
+        obs::Span s("stage/movement");
+        stage_movement(moves);
+    }
+    {
+        obs::Span s("stage/finish_step");
+        finish_step(moves, res);
+    }
+
+    if (mx) {
+        mx->counter("sim.steps").add(1);
+        mx->counter("sim.proposals").add(
+            static_cast<std::uint64_t>(res.proposals));
+        mx->counter("sim.moves").add(static_cast<std::uint64_t>(res.moves));
+        mx->counter("sim.conflicts").add(
+            static_cast<std::uint64_t>(res.conflicts));
+        mx->histogram("step.latency_ns").record(obs::now_ns() - t0);
+        mx->histogram("step.conflicts")
+            .record(static_cast<std::uint64_t>(res.conflicts));
+    }
 
     ++step_;
     return res;
@@ -401,7 +445,8 @@ int Simulator::advance_waypoints(std::int32_t i) {
 
 RunResult Simulator::run(int steps, const StepObserver& observer) {
     RunResult rr;
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("run", "steps", steps);
+    const obs::Stopwatch watch;
     const double modeled0 = modeled_seconds();
     for (int s = 0; s < steps; ++s) {
         const StepResult sr = step();
@@ -410,8 +455,7 @@ RunResult Simulator::run(int steps, const StepObserver& observer) {
         rr.total_conflicts += static_cast<std::uint64_t>(sr.conflicts);
         if (observer && !observer(sr)) break;
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    rr.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    rr.wall_seconds = watch.seconds();
     rr.modeled_device_seconds = modeled_seconds() - modeled0;
     rr.crossed_top = crossed_top_;
     rr.crossed_bottom = crossed_bottom_;

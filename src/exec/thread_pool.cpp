@@ -4,6 +4,9 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pedsim::exec {
 
 namespace {
@@ -49,6 +52,10 @@ struct ThreadPool::Job {
     const std::function<void(int)>* fn;
     int tasks;
     int max_helpers;  ///< attach cap enforcing the caller's parallelism
+    /// Publication timestamp, set only while observability is on; lets an
+    /// attaching worker report how long the job sat queued before help
+    /// arrived. 0 means "don't measure".
+    std::uint64_t publish_ns = 0;
     std::atomic<int> next{0};
 
     std::mutex mutex;
@@ -67,6 +74,7 @@ void ThreadPool::work(Job& job) {
     for (;;) {
         const int i = job.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= job.tasks) break;
+        obs::Span span("pool/task", "i", i);
         try {
             (*job.fn)(i);
         } catch (...) {
@@ -135,6 +143,22 @@ void ThreadPool::worker_loop() {
             continue;
         }
         lock.unlock();
+        if (job->publish_ns != 0) {
+            // Queue wait: publication to this worker picking up tasks.
+            const std::uint64_t now = obs::now_ns();
+            if (auto* tr = obs::Tracer::active()) {
+                tr->record("pool/queue_wait", job->publish_ns, now);
+            }
+            obs::MetricsRegistry::observe("pool.wait_ns",
+                                          now - job->publish_ns);
+            // Tasks still unclaimed at attach time — how much work was
+            // left for this worker to share.
+            const int claimed = std::min(
+                job->next.load(std::memory_order_relaxed), job->tasks);
+            obs::MetricsRegistry::observe(
+                "pool.queue_depth",
+                static_cast<std::uint64_t>(job->tasks - claimed));
+        }
         work(*job);
         {
             std::lock_guard<std::mutex> jl(job->mutex);
@@ -170,6 +194,10 @@ void ThreadPool::run(int tasks, int parallelism,
     }
 
     Job job(fn, tasks, helpers);
+    if (obs::Tracer::active() || obs::MetricsRegistry::active()) {
+        job.publish_ns = obs::now_ns();
+        obs::MetricsRegistry::add("pool.jobs");
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;

@@ -1,0 +1,73 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pedsim::io {
+
+void JsonWriter::value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+}
+
+void JsonWriter::value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+        out_ += '0';
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+}
+
+void JsonWriter::value_fixed(double v, int decimals) {
+    comma();
+    if (!std::isfinite(v)) {
+        out_ += '0';
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    out_ += buf;
+}
+
+std::string JsonWriter::quote(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += raw;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace pedsim::io

@@ -1,0 +1,97 @@
+// Minimal streaming JSON writer shared by the observability exports
+// (Chrome traces, metrics dumps) and the BENCH_*.json perf-trajectory
+// artifacts. Write-only by design — the repo never parses JSON, it only
+// emits schema-stable documents for external tools (Perfetto, python3 -m
+// json.tool, trend dashboards).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pedsim::io {
+
+/// Structural writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("runs"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   file << w.str();
+/// Misnested begin/end calls are the caller's bug; the writer keeps a
+/// context stack and asserts nothing — output is garbage-in garbage-out,
+/// and the tests validate the documents we actually emit.
+class JsonWriter {
+  public:
+    void begin_object() {
+        comma();
+        out_ += '{';
+        stack_.push_back(false);
+    }
+    void end_object() {
+        out_ += '}';
+        pop();
+    }
+    void begin_array() {
+        comma();
+        out_ += '[';
+        stack_.push_back(false);
+    }
+    void end_array() {
+        out_ += ']';
+        pop();
+    }
+
+    /// Object member key; the next begin_*/value() is its value.
+    void key(const std::string& k) {
+        comma();
+        out_ += quote(k);
+        out_ += ':';
+        pending_value_ = true;
+    }
+
+    void value(const std::string& v) {
+        comma();
+        out_ += quote(v);
+    }
+    void value(const char* v) { value(std::string(v)); }
+    void value(bool v) {
+        comma();
+        out_ += v ? "true" : "false";
+    }
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    /// Shortest round-trip representation ("%.17g", then trimmed); non-
+    /// finite values (never expected) degrade to 0 so the document stays
+    /// parseable.
+    void value(double v);
+    /// Fixed decimals — for schema-stable timing columns.
+    void value_fixed(double v, int decimals);
+
+    [[nodiscard]] const std::string& str() const { return out_; }
+
+    /// RFC 8259 string escaping (quotes, backslash, control chars).
+    static std::string quote(const std::string& s);
+
+  private:
+    void comma() {
+        if (pending_value_) {
+            pending_value_ = false;
+            return;
+        }
+        if (!stack_.empty() && stack_.back()) out_ += ',';
+        if (!stack_.empty()) stack_.back() = true;
+    }
+    void pop() {
+        if (!stack_.empty()) stack_.pop_back();
+        if (!stack_.empty()) stack_.back() = true;
+        pending_value_ = false;
+    }
+
+    std::string out_;
+    /// Per-open-container "already has a member" flag.
+    std::vector<bool> stack_;
+    bool pending_value_ = false;
+};
+
+}  // namespace pedsim::io

@@ -1,0 +1,59 @@
+#include "obs/cli.hpp"
+
+#include <cstdio>
+
+namespace pedsim::obs {
+
+const char* cli_help() {
+    return "  --trace=FILE     write a Chrome trace-event JSON (Perfetto)\n"
+           "  --metrics        print the metrics summary report at exit\n"
+           "  --metrics-json=FILE  also write the metrics as JSON";
+}
+
+ObsSession::ObsSession(const io::ArgParser& args) {
+    if (args.has("trace")) {
+        trace_path_ = args.get("trace");
+        tracer_ = std::make_unique<Tracer>();
+        Tracer::install(tracer_.get());
+    }
+    print_summary_ = args.get_bool("metrics", false);
+    if (args.has("metrics-json")) metrics_json_path_ = args.get("metrics-json");
+    if (print_summary_ || !metrics_json_path_.empty()) {
+        registry_ = std::make_unique<MetricsRegistry>();
+        MetricsRegistry::install(registry_.get());
+    }
+}
+
+void ObsSession::finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (tracer_) {
+        Tracer::install(nullptr);
+        tracer_->write_chrome_trace(trace_path_);
+        std::printf("wrote trace %s (%zu events, %zu threads)\n",
+                    trace_path_.c_str(), tracer_->event_count(),
+                    tracer_->thread_count());
+    }
+    if (registry_) {
+        MetricsRegistry::install(nullptr);
+        if (print_summary_) {
+            std::fputs("\n", stdout);
+            std::fputs(registry_->summary().c_str(), stdout);
+        }
+        if (!metrics_json_path_.empty()) {
+            registry_->write_json(metrics_json_path_);
+            std::printf("wrote metrics %s\n", metrics_json_path_.c_str());
+        }
+    }
+}
+
+ObsSession::~ObsSession() {
+    try {
+        finish();
+    } catch (...) {
+        // Destructors must not throw; a failed trace write at process
+        // exit is reported by the explicit finish() path instead.
+    }
+}
+
+}  // namespace pedsim::obs

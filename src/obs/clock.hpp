@@ -1,0 +1,43 @@
+// The observability clock: one monotonic time source for everything.
+//
+// Bench columns (wall_s, setup_s, batch_wall_s), trace-span timestamps
+// and metric latency samples all read the same steady clock through this
+// header, so a bench number and the trace span it summarizes can never
+// disagree about what "a second" is.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pedsim::obs {
+
+/// Nanoseconds on the process-wide monotonic clock.
+inline std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// RAII-free elapsed-time reader: construct (or reset()) at the start,
+/// read seconds()/elapsed_ns() at the end. Plain value type — copy it,
+/// keep several, nothing is registered anywhere.
+class Stopwatch {
+  public:
+    Stopwatch() : start_(now_ns()) {}
+
+    void reset() { start_ = now_ns(); }
+
+    [[nodiscard]] std::uint64_t elapsed_ns() const {
+        return now_ns() - start_;
+    }
+    [[nodiscard]] double seconds() const {
+        return static_cast<double>(elapsed_ns()) * 1e-9;
+    }
+    [[nodiscard]] std::uint64_t start_ns() const { return start_; }
+
+  private:
+    std::uint64_t start_;
+};
+
+}  // namespace pedsim::obs

@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace pedsim::obs {
+
+std::atomic<MetricsRegistry*> MetricsRegistry::active_{nullptr};
+
+MetricsRegistry::~MetricsRegistry() {
+    MetricsRegistry* self = this;
+    active_.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+std::uint64_t Histogram::Snapshot::approx_quantile(double q) const {
+    if (count == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count));
+    std::uint64_t seen = 0;
+    for (int k = 0; k < kBuckets; ++k) {
+        seen += buckets[k];
+        if (seen > target) {
+            return k == 0 ? 0 : (std::uint64_t{1} << k) - 1;
+        }
+    }
+    return max;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    const auto mn = min_.load(std::memory_order_relaxed);
+    s.min = mn == UINT64_MAX ? 0 : mn;
+    s.max = max_.load(std::memory_order_relaxed);
+    for (int k = 0; k < kBuckets; ++k) {
+        s.buckets[k] = buckets_[k].load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histograms_[name];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::summary() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "== metrics ==\n";
+    char line[256];
+
+    if (!counters_.empty()) {
+        std::size_t width = 0;
+        for (const auto& [name, c] : counters_) {
+            width = std::max(width, name.size());
+        }
+        out += "counters:\n";
+        for (const auto& [name, c] : counters_) {
+            std::snprintf(line, sizeof(line), "  %-*s %12llu\n",
+                          static_cast<int>(width), name.c_str(),
+                          static_cast<unsigned long long>(c.value()));
+            out += line;
+        }
+        // Derived rates: any "<base>.hit" / "<base>.miss" pair.
+        for (const auto& [name, c] : counters_) {
+            constexpr const char* kHit = ".hit";
+            if (name.size() <= 4 ||
+                name.compare(name.size() - 4, 4, kHit) != 0) {
+                continue;
+            }
+            const std::string base = name.substr(0, name.size() - 4);
+            const auto miss = counters_.find(base + ".miss");
+            if (miss == counters_.end()) continue;
+            const std::uint64_t h = c.value();
+            const std::uint64_t m = miss->second.value();
+            const double rate =
+                h + m == 0 ? 0.0
+                           : 100.0 * static_cast<double>(h) /
+                                 static_cast<double>(h + m);
+            std::snprintf(line, sizeof(line),
+                          "  %s hit rate: %.1f%% (%llu hits / %llu "
+                          "misses)\n",
+                          base.c_str(), rate,
+                          static_cast<unsigned long long>(h),
+                          static_cast<unsigned long long>(m));
+            out += line;
+        }
+    }
+
+    if (!histograms_.empty()) {
+        std::size_t width = 0;
+        for (const auto& [name, h] : histograms_) {
+            width = std::max(width, name.size());
+        }
+        out += "histograms (count mean min max ~p50 ~p95):\n";
+        for (const auto& [name, h] : histograms_) {
+            const auto s = h.snapshot();
+            std::snprintf(
+                line, sizeof(line),
+                "  %-*s %10llu %14.1f %10llu %12llu %12llu %12llu\n",
+                static_cast<int>(width), name.c_str(),
+                static_cast<unsigned long long>(s.count), s.mean(),
+                static_cast<unsigned long long>(s.min),
+                static_cast<unsigned long long>(s.max),
+                static_cast<unsigned long long>(s.approx_quantile(0.50)),
+                static_cast<unsigned long long>(s.approx_quantile(0.95)));
+            out += line;
+        }
+    }
+    if (counters_.empty() && histograms_.empty()) {
+        out += "(no metrics recorded)\n";
+    }
+    return out;
+}
+
+std::string MetricsRegistry::json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("pedsim-metrics-v1");
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, c] : counters_) {
+        w.key(name);
+        w.value(c.value());
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : histograms_) {
+        const auto s = h.snapshot();
+        w.key(name);
+        w.begin_object();
+        w.key("count");
+        w.value(s.count);
+        w.key("sum");
+        w.value(s.sum);
+        w.key("min");
+        w.value(s.min);
+        w.key("max");
+        w.value(s.max);
+        w.key("mean");
+        w.value(s.mean());
+        w.key("buckets");
+        w.begin_array();
+        for (int k = 0; k < Histogram::kBuckets; ++k) {
+            if (s.buckets[k] == 0) continue;
+            w.begin_object();
+            w.key("le");
+            w.value(k == 0 ? std::uint64_t{0}
+                           : (k >= 64 ? UINT64_MAX
+                                      : (std::uint64_t{1} << k) - 1));
+            w.key("count");
+            w.value(s.buckets[k]);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+    std::ofstream out(path);
+    out << json() << "\n";
+    out.close();
+    if (!out) {
+        throw std::runtime_error("metrics: cannot write " + path);
+    }
+}
+
+}  // namespace pedsim::obs

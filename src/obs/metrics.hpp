@@ -1,0 +1,150 @@
+// Metrics: a registry of named counters and lightweight histograms with
+// a plain-text summary report and a JSON export.
+//
+// Same contract as the tracer (obs/trace.hpp): metrics never read or
+// write simulation state — they only accumulate values the instrumented
+// code already computed — and the disabled path is one relaxed atomic
+// load + branch per site (the MetricsRegistry::add/observe statics).
+// Counters and histogram cells are atomics, so pool workers record
+// without locks; the registry mutex guards only name registration.
+//
+// Naming convention (dots group, docs/OBSERVABILITY.md lists them all):
+//   sim.steps, sim.moves, sim.conflicts, step.latency_ns (histogram),
+//   doors.field_cache.hit / .miss, pool.wait_ns, kernel.<name>.blocks...
+// A counter pair "<base>.hit" / "<base>.miss" gets a derived hit-rate
+// line in the summary report.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pedsim::obs {
+
+class Counter {
+  public:
+    void add(std::uint64_t n = 1) {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram over non-negative integer samples (latencies
+/// in ns, queue depths, per-step counts). Bucket k holds samples whose
+/// bit width is k (0 -> bucket 0, [2^(k-1), 2^k) -> bucket k), so the
+/// whole histogram is 65 atomic cells — no configuration, no rebinning.
+class Histogram {
+  public:
+    static constexpr int kBuckets = 65;
+
+    void record(std::uint64_t v) {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+            1, std::memory_order_relaxed);
+        update_min(v);
+        update_max(v);
+    }
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::uint64_t buckets[kBuckets] = {};
+
+        [[nodiscard]] double mean() const {
+            return count == 0 ? 0.0
+                              : static_cast<double>(sum) /
+                                    static_cast<double>(count);
+        }
+        /// Upper bound (2^k - 1) of the bucket where the cumulative count
+        /// first reaches `q * count` — a coarse quantile estimate, good
+        /// to a factor of 2 by construction.
+        [[nodiscard]] std::uint64_t approx_quantile(double q) const;
+    };
+
+    [[nodiscard]] Snapshot snapshot() const;
+
+  private:
+    void update_min(std::uint64_t v) {
+        std::uint64_t cur = min_.load(std::memory_order_relaxed);
+        while (v < cur && !min_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    void update_max(std::uint64_t v) {
+        std::uint64_t cur = max_.load(std::memory_order_relaxed);
+        while (v > cur && !max_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{UINT64_MAX};
+    std::atomic<std::uint64_t> max_{0};
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry {
+  public:
+    MetricsRegistry() = default;
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The installed registry, or nullptr (the no-op fast path).
+    static MetricsRegistry* active() {
+        return active_.load(std::memory_order_relaxed);
+    }
+    /// Install `m` as the process-wide registry (nullptr uninstalls);
+    /// returns the previous one.
+    static MetricsRegistry* install(MetricsRegistry* m) {
+        return active_.exchange(m, std::memory_order_acq_rel);
+    }
+
+    /// No-op-safe instrumentation statics: one relaxed load + branch when
+    /// no registry is installed.
+    static void add(const char* name, std::uint64_t n = 1) {
+        if (auto* m = active()) m->counter(name).add(n);
+    }
+    static void observe(const char* name, std::uint64_t v) {
+        if (auto* m = active()) m->histogram(name).record(v);
+    }
+
+    /// Find-or-create by name. The returned reference is stable for the
+    /// registry's lifetime (node-based storage).
+    Counter& counter(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /// nullptr when the name was never recorded.
+    [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+    [[nodiscard]] const Histogram* find_histogram(
+        const std::string& name) const;
+
+    /// Plain-text per-run report: counters, derived .hit/.miss rates,
+    /// histogram count/mean/min/max/~p50/~p95 rows.
+    [[nodiscard]] std::string summary() const;
+    /// {"schema":"pedsim-metrics-v1","counters":{...},"histograms":{...}}
+    [[nodiscard]] std::string json() const;
+    /// json() written to `path`; throws std::runtime_error on failure.
+    void write_json(const std::string& path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+
+    static std::atomic<MetricsRegistry*> active_;
+};
+
+}  // namespace pedsim::obs

@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/json.hpp"
+
+namespace pedsim::obs {
+
+std::atomic<Tracer*> Tracer::active_{nullptr};
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+Tracer::~Tracer() {
+    // Defensive: a tracer destroyed while installed would leave spans
+    // recording into freed memory. Uninstall-if-installed makes the
+    // destructor safe against that ordering bug (in-flight spans must
+    // still have closed — ObsSession guarantees both).
+    Tracer* self = this;
+    active_.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+    // Cache keyed by tracer id, not address: a fresh tracer can reuse a
+    // destroyed one's address, but never its id.
+    thread_local std::uint64_t cached_id = 0;
+    thread_local ThreadBuffer* cached = nullptr;
+    if (cached_id != id_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(std::make_unique<ThreadBuffer>());
+        buffers_.back()->events.reserve(256);
+        cached = buffers_.back().get();
+        cached_id = id_;
+    }
+    return *cached;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns) {
+    TraceEvent e;
+    e.name = name;
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    local_buffer().events.push_back(e);
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, const char* k0, std::int64_t v0) {
+    TraceEvent e;
+    e.name = name;
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    e.arg_key[0] = k0;
+    e.arg_val[0] = v0;
+    e.args = 1;
+    local_buffer().events.push_back(e);
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, const char* k0, std::int64_t v0,
+                    const char* k1, std::int64_t v1) {
+    TraceEvent e;
+    e.name = name;
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    e.arg_key[0] = k0;
+    e.arg_val[0] = v0;
+    e.arg_key[1] = k1;
+    e.arg_val[1] = v1;
+    e.args = 2;
+    local_buffer().events.push_back(e);
+}
+
+std::size_t Tracer::event_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b->events.size();
+    return n;
+}
+
+std::size_t Tracer::thread_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b->events.empty() ? 0 : 1;
+    return n;
+}
+
+std::string Tracer::chrome_trace_json() const {
+    // Snapshot under the registration mutex; per-buffer event vectors are
+    // only appended by their owning thread, and export runs after the
+    // instrumented workload quiesced (every pool dispatch is synchronous).
+    std::vector<std::vector<TraceEvent>> threads;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        threads.reserve(buffers_.size());
+        for (const auto& b : buffers_) threads.push_back(b->events);
+    }
+
+    // Buffers hold events in CLOSE order (nested spans close inner-first);
+    // re-sort each thread by start so the exported ts sequence is the
+    // span-open order, outer before inner on ties.
+    std::uint64_t t0 = UINT64_MAX;
+    for (auto& evs : threads) {
+        std::stable_sort(evs.begin(), evs.end(),
+                         [](const TraceEvent& a, const TraceEvent& b) {
+                             if (a.start_ns != b.start_ns) {
+                                 return a.start_ns < b.start_ns;
+                             }
+                             return a.end_ns > b.end_ns;
+                         });
+        if (!evs.empty()) t0 = std::min(t0, evs.front().start_ns);
+    }
+    if (t0 == UINT64_MAX) t0 = 0;
+
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("traceEvents");
+    w.begin_array();
+    int tid = 0;
+    for (const auto& evs : threads) {
+        // ts strictly increases within a thread: nudge forward by 1 ns
+        // (0.001 us) whenever the clock ties — export-side cosmetics
+        // only, the recorded nanoseconds are untouched.
+        std::uint64_t last_ns = 0;
+        bool first = true;
+        for (const auto& e : evs) {
+            std::uint64_t ts = e.start_ns - t0;
+            if (!first && ts <= last_ns) ts = last_ns + 1;
+            first = false;
+            last_ns = ts;
+            const std::uint64_t dur =
+                e.end_ns > e.start_ns ? e.end_ns - e.start_ns : 0;
+            w.begin_object();
+            w.key("name");
+            w.value(e.name);
+            w.key("ph");
+            w.value("X");
+            w.key("pid");
+            w.value(1);
+            w.key("tid");
+            w.value(tid);
+            w.key("ts");
+            w.value_fixed(static_cast<double>(ts) * 1e-3, 3);
+            w.key("dur");
+            w.value_fixed(static_cast<double>(dur) * 1e-3, 3);
+            if (e.args > 0) {
+                w.key("args");
+                w.begin_object();
+                for (int a = 0; a < e.args; ++a) {
+                    w.key(e.arg_key[a]);
+                    w.value(e.arg_val[a]);
+                }
+                w.end_object();
+            }
+            w.end_object();
+        }
+        ++tid;
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+    std::ofstream out(path);
+    out << chrome_trace_json() << "\n";
+    out.close();
+    if (!out) {
+        throw std::runtime_error("tracer: cannot write " + path);
+    }
+}
+
+}  // namespace pedsim::obs

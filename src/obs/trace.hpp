@@ -1,0 +1,179 @@
+// Tracing: RAII spans collected into per-thread buffers, exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Design constraints, in order:
+//   1. Observability must never perturb the simulation. Spans carry only
+//      names, timestamps and caller-chosen integer args — they never read
+//      or write engine state, and recording has no synchronization with
+//      the instrumented code beyond appending to the recording thread's
+//      own buffer. Golden fingerprints are bit-identical with tracing on
+//      or off (enforced by tests/obs_test.cpp).
+//   2. Disabled must be free. `Span` construction when no tracer is
+//      installed is one relaxed atomic load and a branch; nothing else
+//      runs, nothing allocates. The instrumented hot loops (engine
+//      stages, pool slices, simulated kernel blocks) pay nothing in the
+//      default configuration.
+//   3. Recording must be cheap and contention-free. Each thread appends
+//      to its own buffer (registered once per thread per tracer under a
+//      mutex); events are {name pointer, two u64 timestamps, <=2 integer
+//      args}. Span names and arg keys must be string literals (or
+//      otherwise outlive the tracer) — they are stored as pointers.
+//
+// Lifecycle: create a Tracer, install it with Tracer::install(), run the
+// instrumented workload, uninstall, then export. The tracer must outlive
+// every span recorded into it; export assumes recording has quiesced
+// (all pool dispatches are synchronous, so returning from the workload
+// is enough). The ObsSession helper in obs/cli.hpp wraps this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace pedsim::obs {
+
+/// One closed span. `name`/arg keys are unowned pointers to static
+/// strings. Timestamps are now_ns() values.
+struct TraceEvent {
+    const char* name = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    const char* arg_key[2] = {nullptr, nullptr};
+    std::int64_t arg_val[2] = {0, 0};
+    int args = 0;
+};
+
+class Tracer {
+  public:
+    Tracer();
+    ~Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// The installed tracer, or nullptr (the no-op fast path). Relaxed
+    /// load: instrumentation sites tolerate seeing an install/uninstall
+    /// slightly late.
+    static Tracer* active() {
+        return active_.load(std::memory_order_relaxed);
+    }
+    /// Install `t` as the process-wide tracer (nullptr uninstalls).
+    /// Returns the previous tracer.
+    static Tracer* install(Tracer* t) {
+        return active_.exchange(t, std::memory_order_acq_rel);
+    }
+
+    /// Append a closed span to the calling thread's buffer. Name and arg
+    /// keys must outlive the tracer (string literals).
+    void record(const char* name, std::uint64_t start_ns,
+                std::uint64_t end_ns);
+    void record(const char* name, std::uint64_t start_ns,
+                std::uint64_t end_ns, const char* k0, std::int64_t v0);
+    void record(const char* name, std::uint64_t start_ns,
+                std::uint64_t end_ns, const char* k0, std::int64_t v0,
+                const char* k1, std::int64_t v1);
+
+    /// Total recorded events across all thread buffers.
+    [[nodiscard]] std::size_t event_count() const;
+    /// Threads that have recorded at least one event.
+    [[nodiscard]] std::size_t thread_count() const;
+
+    /// The full event set as Chrome trace-event JSON:
+    /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+    ///   "pid":1,"tid":N,"args":{...}}, ...]}
+    /// Events are grouped by thread (tid 0 = the first thread that
+    /// recorded, usually main) and sorted by start time within a thread;
+    /// timestamps are microseconds with nanosecond precision, offset so
+    /// the earliest event starts at 0, and nudged by 1ns where needed so
+    /// ts is STRICTLY increasing within each thread (Perfetto renders
+    /// zero-width spans; downstream diffing wants a total order).
+    /// Call after the instrumented workload has quiesced.
+    [[nodiscard]] std::string chrome_trace_json() const;
+
+    /// chrome_trace_json() written to `path`; throws std::runtime_error
+    /// on I/O failure.
+    void write_chrome_trace(const std::string& path) const;
+
+  private:
+    struct ThreadBuffer {
+        std::vector<TraceEvent> events;
+    };
+
+    ThreadBuffer& local_buffer();
+
+    /// Unique id per Tracer instance, so thread_local caches can never
+    /// confuse a new tracer reusing a destroyed one's address.
+    const std::uint64_t id_;
+
+    mutable std::mutex mutex_;  ///< guards buffers_ registration
+    /// One buffer per recording thread, in registration order. Owned via
+    /// unique_ptr so pointers cached by threads stay stable as the vector
+    /// grows.
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+    static std::atomic<Tracer*> active_;
+};
+
+/// RAII span: opens at construction, records into the tracer captured at
+/// construction when it closes. When no tracer is installed, construction
+/// is one relaxed atomic load + branch and destruction is one branch.
+class Span {
+  public:
+    explicit Span(const char* name) : tracer_(Tracer::active()) {
+        if (!tracer_) return;
+        name_ = name;
+        start_ = now_ns();
+    }
+    Span(const char* name, const char* k0, std::int64_t v0)
+        : tracer_(Tracer::active()) {
+        if (!tracer_) return;
+        name_ = name;
+        key_[0] = k0;
+        val_[0] = v0;
+        args_ = 1;
+        start_ = now_ns();
+    }
+    Span(const char* name, const char* k0, std::int64_t v0, const char* k1,
+         std::int64_t v1)
+        : tracer_(Tracer::active()) {
+        if (!tracer_) return;
+        name_ = name;
+        key_[0] = k0;
+        val_[0] = v0;
+        key_[1] = k1;
+        val_[1] = v1;
+        args_ = 2;
+        start_ = now_ns();
+    }
+    ~Span() {
+        if (!tracer_) return;
+        const std::uint64_t end = now_ns();
+        switch (args_) {
+            case 0:
+                tracer_->record(name_, start_, end);
+                break;
+            case 1:
+                tracer_->record(name_, start_, end, key_[0], val_[0]);
+                break;
+            default:
+                tracer_->record(name_, start_, end, key_[0], val_[0],
+                                key_[1], val_[1]);
+        }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    Tracer* tracer_;
+    const char* name_ = nullptr;
+    std::uint64_t start_ = 0;
+    const char* key_[2] = {nullptr, nullptr};
+    std::int64_t val_[2] = {0, 0};
+    int args_ = 0;
+};
+
+}  // namespace pedsim::obs

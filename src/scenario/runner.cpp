@@ -7,6 +7,7 @@
 #include "core/gpu_simulator.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/table.hpp"
+#include "obs/clock.hpp"
 #include "rng/philox.hpp"
 #include "scenario/registry.hpp"
 
@@ -68,7 +69,9 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
         cfg.model = model;
         cfg.seed = seed;
         if (opts_.engine_threads > 0) cfg.exec.threads = opts_.engine_threads;
+        const obs::Stopwatch setup_watch;
         const auto sim = make_engine(engine, cfg);
+        const double setup_seconds = setup_watch.seconds();
         RunRecord rec;
         rec.scenario = s.name;
         rec.engine = engine;
@@ -82,6 +85,8 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
         rec.waypoint_cells =
             static_cast<int>(cfg.layout.waypoints[0].size() +
                              cfg.layout.waypoints[1].size());
+        rec.engine_threads = cfg.exec.threads;
+        rec.setup_seconds = setup_seconds;
         rec.result = sim->run(steps);
         rec.fingerprint = position_fingerprint(*sim);
         return rec;
@@ -149,8 +154,9 @@ std::string ScenarioRunner::summary_table(
     const std::vector<RunRecord>& records) {
     io::TablePrinter table({"scenario", "engine", "model", "seed", "steps",
                             "doors", "cycles", "movers", "antic", "wps",
-                            "crossed", "moves", "conflicts", "wall_s",
-                            "steps_per_s", "modeled_s", "fingerprint"});
+                            "crossed", "moves", "conflicts", "setup_s",
+                            "wall_s", "steps_per_s", "modeled_s",
+                            "fingerprint"});
     for (const auto& r : records) {
         char fp[20];
         std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
@@ -171,6 +177,7 @@ std::string ScenarioRunner::summary_table(
                  static_cast<long long>(r.result.total_moves)),
              io::TablePrinter::integer(
                  static_cast<long long>(r.result.total_conflicts)),
+             io::TablePrinter::num(r.setup_seconds, 3),
              io::TablePrinter::num(r.result.wall_seconds, 3),
              io::TablePrinter::num(sps, 1),
              io::TablePrinter::num(r.result.modeled_device_seconds, 3), fp});

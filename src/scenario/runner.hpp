@@ -60,6 +60,14 @@ struct RunRecord {
     /// Authored waypoint-chain cells across both groups (0 = no chains) —
     /// the multi-goal workload axis for throughput-vs-waypoint sweeps.
     int waypoint_cells = 0;
+    /// Engine-internal thread count the run actually used.
+    int engine_threads = 0;
+    /// Wall time of engine construction — scenario validation, event
+    /// expansion and every phase's geodesic field build. Kept separate
+    /// from result.wall_seconds (stepping only): field precompute can
+    /// dwarf stepping for event-heavy scenarios, and folding it into the
+    /// stepping column would corrupt steps_per_s trend lines.
+    double setup_seconds = 0.0;
     core::RunResult result;
     /// Position fingerprint of the final state; equal across engines for
     /// the same (scenario, model, seed, steps).

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/device_spec.hpp"
 #include "simt/stats.hpp"
 
@@ -261,6 +263,8 @@ template <typename SharedT, typename Fn>
 KernelStats launch(const DeviceSpec& spec, Dim2 grid, Dim2 block, int phases,
                    Fn&& fn, const exec::ExecPolicy& host = {}) {
     const auto n_blocks = static_cast<std::int64_t>(grid.count());
+    obs::Span span("simt/launch", "blocks", n_blocks);
+    obs::MetricsRegistry::add("simt.launches");
     // Per-slice stats merged in flat block order: serial (one slice) and
     // host-parallel launches produce the identical accumulation.
     const auto slices = exec::plan_slices(host, 0, n_blocks);
@@ -268,6 +272,9 @@ KernelStats launch(const DeviceSpec& spec, Dim2 grid, Dim2 block, int phases,
     exec::for_slices(
         host, 0, n_blocks,
         [&](int s, std::int64_t begin, std::int64_t end) {
+            // One span per slice, not per block: a 480x480 grid runs ~900
+            // blocks per launch, and per-block spans would swamp the trace.
+            obs::Span slice("simt/block_slice", "begin", begin, "end", end);
             auto& part = parts[static_cast<std::size_t>(s)];
             for (std::int64_t b = begin; b < end; ++b) {
                 run_block<SharedT>(spec, grid, block, phases, fn,
