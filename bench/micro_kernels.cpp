@@ -1,14 +1,25 @@
 // Micro-benchmarks (google-benchmark) of the hot building blocks: Philox
-// draws, candidate scoring, scatter-to-gather resolution, and one full
-// simulation step per engine. These bound the per-step cost that the
-// figure harnesses extrapolate from.
+// draws, the SIMD row primitives behind the scan-row/candidate hot path
+// (mask builds, field gathers, the congestion accumulator — each against
+// its scalar reference, so the per-primitive speedup of the active
+// backend is one run away), and one full simulation step per engine.
+// These bound the per-step cost that the figure harnesses extrapolate
+// from. `--benchmark_format=csv` emits the machine-readable table the
+// perf-trajectory workflow (docs/PERFORMANCE.md) archives alongside the
+// BENCH_*.json artifacts.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
 
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "core/rules.hpp"
+#include "grid/environment.hpp"
 #include "rng/distributions.hpp"
 #include "rng/stream.hpp"
+#include "simd/row_ops.hpp"
+#include "simd/simd.hpp"
 
 using namespace pedsim;
 
@@ -38,6 +49,133 @@ void BM_NormalDraw(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_NormalDraw);
+
+// --- SIMD primitive benches ---------------------------------------------
+//
+// One padded 480-column row (the paper_corridor width) at ~20% agent
+// density — the corridor_small/panic_crossing regime, denser than
+// paper_corridor so the masked sweeps are measured at their least
+// favourable occupancy. The `...Scalar` twins run the always-compiled
+// reference implementation on identical input.
+
+constexpr int kBenchCols = 480;
+
+std::vector<std::uint8_t> bench_row() {
+    const int stride =
+        ((kBenchCols + 2 + simd::kRowAlign - 1) / simd::kRowAlign) *
+        simd::kRowAlign;
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(stride),
+                                  grid::kWallOcc);
+    rng::Stream s(7, rng::Stage::kGeneric, 0, 0);
+    for (int c = 0; c < kBenchCols; ++c) {
+        const auto draw = s.next_below(10);
+        row[static_cast<std::size_t>(c) + 1] =
+            draw < 8 ? std::uint8_t{0}
+                     : static_cast<std::uint8_t>(1 + (draw & 1));
+    }
+    return row;
+}
+
+void BM_EmptyMaskBuild(benchmark::State& state) {
+    const auto row = bench_row();
+    std::vector<std::uint64_t> words(row.size() / simd::kWordBits);
+    for (auto _ : state) {
+        simd::empty_bits(row.data(), static_cast<int>(row.size()),
+                         words.data());
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(row.size()));
+}
+BENCHMARK(BM_EmptyMaskBuild);
+
+void BM_EmptyMaskBuildScalar(benchmark::State& state) {
+    const auto row = bench_row();
+    std::vector<std::uint64_t> words(row.size() / simd::kWordBits);
+    for (auto _ : state) {
+        simd::scalar::empty_bits(row.data(), static_cast<int>(row.size()),
+                                 words.data());
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(row.size()));
+}
+BENCHMARK(BM_EmptyMaskBuildScalar);
+
+void BM_AgentMaskBuild(benchmark::State& state) {
+    const auto row = bench_row();
+    std::vector<std::uint64_t> words(row.size() / simd::kWordBits);
+    for (auto _ : state) {
+        simd::agent_bits(row.data(), static_cast<int>(row.size()),
+                         grid::kWallOcc, words.data());
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(row.size()));
+}
+BENCHMARK(BM_AgentMaskBuild);
+
+void BM_FieldGather(benchmark::State& state) {
+    // 8 candidate cells per agent against a geodesic-field-sized table —
+    // the build_candidates_lem_geo access pattern.
+    std::vector<double> field(static_cast<std::size_t>(kBenchCols) *
+                              kBenchCols);
+    rng::Stream s(11, rng::Stage::kGeneric, 1, 0);
+    for (auto& v : field) v = s.next_double() * 1e3;
+    std::int32_t idx[8];
+    for (auto& i : idx) {
+        i = static_cast<std::int32_t>(
+            s.next_below(static_cast<std::uint32_t>(field.size())));
+    }
+    double out[8];
+    for (auto _ : state) {
+        simd::gather_f64(field.data(), idx, 8, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_FieldGather);
+
+void BM_FieldGatherScalar(benchmark::State& state) {
+    std::vector<double> field(static_cast<std::size_t>(kBenchCols) *
+                              kBenchCols);
+    rng::Stream s(11, rng::Stage::kGeneric, 1, 0);
+    for (auto& v : field) v = s.next_double() * 1e3;
+    std::int32_t idx[8];
+    for (auto& i : idx) {
+        i = static_cast<std::int32_t>(
+            s.next_below(static_cast<std::uint32_t>(field.size())));
+    }
+    double out[8];
+    for (auto _ : state) {
+        simd::scalar::gather_f64(field.data(), idx, 8, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_FieldGatherScalar);
+
+void BM_CongestionAccumulate(benchmark::State& state) {
+    // The horizontal scan-ray: count occupied cells over a range-length
+    // span, the ray_congestion fast path.
+    const auto row = bench_row();
+    const int range = 24;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::count_occupied(row.data() + 1, range));
+    }
+}
+BENCHMARK(BM_CongestionAccumulate);
+
+void BM_CongestionAccumulateScalar(benchmark::State& state) {
+    const auto row = bench_row();
+    const int range = 24;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::scalar::count_occupied(row.data() + 1, range));
+    }
+}
+BENCHMARK(BM_CongestionAccumulateScalar);
+
+// --- engine step benches -------------------------------------------------
 
 core::SimConfig small_config(core::Model model) {
     core::SimConfig cfg;

@@ -16,6 +16,7 @@
 //   ./scenario_suite --csv=out.csv          # also dump CSV
 //   ./scenario_suite --json=BENCH.json      # perf-trajectory artifact
 //   ./scenario_suite --trace=out.json --metrics   # observability
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -50,11 +51,92 @@ std::vector<std::string> split_csv(const std::string& s) {
     return out;
 }
 
+/// One (scenario, engine, model, threads, steps) combination aggregated
+/// over its repeats. Medians — not means — feed the perf trajectory: a
+/// single preempted repeat shifts a mean but not a median, so BENCH_*.json
+/// files diff meaningfully across PRs even from noisy hosts. Fingerprints
+/// are per-run (repeats draw distinct seeds via repeat_seed), so the
+/// aggregate carries timing only.
+struct Aggregate {
+    std::string scenario;
+    std::string engine;
+    std::string model;
+    int threads = 0;
+    int steps = 0;
+    std::vector<double> wall_s;
+    std::vector<double> steps_per_s;
+    double median_wall_s = 0.0;
+    double median_steps_per_s = 0.0;
+};
+
+double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Group records by combination in first-seen order (the runner expands
+/// repeats innermost-adjacent, but grouping by key is robust to any
+/// expansion order) and compute the medians.
+std::vector<Aggregate> aggregate(
+    const std::vector<scenario::RunRecord>& records) {
+    std::vector<Aggregate> groups;
+    for (const auto& r : records) {
+        const std::string engine = scenario::engine_name(r.engine);
+        const std::string model =
+            r.model == core::Model::kLem ? "lem" : "aco";
+        Aggregate* g = nullptr;
+        for (auto& cand : groups) {
+            if (cand.scenario == r.scenario && cand.engine == engine &&
+                cand.model == model && cand.threads == r.engine_threads &&
+                cand.steps == r.steps) {
+                g = &cand;
+                break;
+            }
+        }
+        if (g == nullptr) {
+            groups.push_back(
+                {r.scenario, engine, model, r.engine_threads, r.steps,
+                 {}, {}, 0.0, 0.0});
+            g = &groups.back();
+        }
+        g->wall_s.push_back(r.result.wall_seconds);
+        g->steps_per_s.push_back(
+            r.result.wall_seconds > 0.0
+                ? r.result.steps_run / r.result.wall_seconds
+                : 0.0);
+    }
+    for (auto& g : groups) {
+        g.median_wall_s = median(g.wall_s);
+        g.median_steps_per_s = median(g.steps_per_s);
+    }
+    return groups;
+}
+
+std::string aggregate_table(const std::vector<Aggregate>& groups) {
+    std::string out =
+        "\naggregates (median over repeats)\n"
+        "scenario              engine  model  threads  steps  repeats  "
+        "median_wall_s  median_steps_per_s\n";
+    for (const auto& g : groups) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-21s %-7s %-6s %7d  %5d  %7zu  %13.4f  %18.1f\n",
+                      g.scenario.c_str(), g.engine.c_str(), g.model.c_str(),
+                      g.threads, g.steps, g.wall_s.size(), g.median_wall_s,
+                      g.median_steps_per_s);
+        out += line;
+    }
+    return out;
+}
+
 /// The perf-trajectory artifact (schema "pedsim-bench-v1", documented in
 /// docs/OBSERVABILITY.md): one run object per scenario x engine x repeat
 /// with setup/stepping wall time split and throughput. Key set and
 /// meanings are stable across PRs so BENCH_*.json files diff cleanly.
 std::string bench_json(const std::vector<scenario::RunRecord>& records,
+                       const std::vector<Aggregate>& aggregates,
                        const scenario::RunnerOptions& opts,
                        double batch_wall_s) {
     io::JsonWriter w;
@@ -121,6 +203,32 @@ std::string bench_json(const std::vector<scenario::RunRecord>& records,
         w.end_object();
     }
     w.end_array();
+    // Per-combination medians over repeats: the stable per-PR signal that
+    // tools/bench_compare.py (and any trend tooling) should prefer over
+    // the raw runs when repeats > 1.
+    w.key("aggregates");
+    w.begin_array();
+    for (const auto& g : aggregates) {
+        w.begin_object();
+        w.key("scenario");
+        w.value(g.scenario);
+        w.key("engine");
+        w.value(g.engine);
+        w.key("model");
+        w.value(g.model);
+        w.key("threads");
+        w.value(g.threads);
+        w.key("steps");
+        w.value(g.steps);
+        w.key("repeats");
+        w.value(static_cast<std::int64_t>(g.wall_s.size()));
+        w.key("median_wall_s");
+        w.value(g.median_wall_s);
+        w.key("median_steps_per_s");
+        w.value(g.median_steps_per_s);
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
     return w.str();
 }
@@ -137,7 +245,9 @@ int main(int argc, char** argv) {
             "  --engines=LIST   cpu,gpu (default both)\n"
             "  --models=LIST    lem,aco (default: each scenario's own)\n"
             "  --steps=N        override every scenario's step budget\n"
-            "  --repeats=N      independent repetitions (default 1)\n"
+            "  --repeats=N      independent repetitions (default 1; >1\n"
+            "                   adds a median-aggregate table, CSV median\n"
+            "                   columns and a JSON `aggregates` array)\n"
             "  --threads=N      batch-level pool jobs (default: hardware\n"
             "                   concurrency; results identical at any N)\n"
             "  --engine-threads=N  threads inside each engine (default:\n"
@@ -209,16 +319,23 @@ int main(int argc, char** argv) {
     session.finish();
     std::fputs(scenario::ScenarioRunner::summary_table(records).c_str(),
                stdout);
+    const auto aggregates = aggregate(records);
+    if (opts.repeats > 1) {
+        std::fputs(aggregate_table(aggregates).c_str(), stdout);
+    }
     std::printf("\nbatch: %zu runs in %.3f s at %d thread(s)\n",
                 records.size(), batch_wall, opts.threads);
 
     if (args.has("csv")) {
         io::CsvWriter csv(args.get("csv"));
+        // The median columns ride AFTER fingerprint (column 20): the CI
+        // thread-count diff cuts columns 1-5,7-14,20 by position, so new
+        // columns must only ever append.
         csv.header({"scenario", "engine", "model", "seed", "steps",
                     "threads", "doors", "cycles", "movers", "anticipate",
                     "waypoints", "crossed", "moves", "conflicts", "setup_s",
                     "wall_s", "steps_per_s", "modeled_s", "batch_wall_s",
-                    "fingerprint"});
+                    "fingerprint", "median_wall_s", "median_steps_per_s"});
         for (const auto& r : records) {
             char fp[20];
             std::snprintf(fp, sizeof(fp), "%016llx",
@@ -227,14 +344,28 @@ int main(int argc, char** argv) {
                 r.result.wall_seconds > 0.0
                     ? r.result.steps_run / r.result.wall_seconds
                     : 0.0;
-            csv.row(r.scenario, scenario::engine_name(r.engine),
-                    r.model == core::Model::kLem ? "lem" : "aco", r.seed,
+            const std::string engine = scenario::engine_name(r.engine);
+            const std::string model =
+                r.model == core::Model::kLem ? "lem" : "aco";
+            double med_wall = r.result.wall_seconds;
+            double med_sps = sps;
+            for (const auto& g : aggregates) {
+                if (g.scenario == r.scenario && g.engine == engine &&
+                    g.model == model && g.threads == r.engine_threads &&
+                    g.steps == r.steps) {
+                    med_wall = g.median_wall_s;
+                    med_sps = g.median_steps_per_s;
+                    break;
+                }
+            }
+            csv.row(r.scenario, engine, model, r.seed,
                     r.steps, opts.threads, r.door_events, r.cycle_events,
                     r.mover_events, r.anticipate_horizon, r.waypoint_cells,
                     r.result.crossed_total(), r.result.total_moves,
                     r.result.total_conflicts, r.setup_seconds,
                     r.result.wall_seconds, sps,
-                    r.result.modeled_device_seconds, batch_wall, fp);
+                    r.result.modeled_device_seconds, batch_wall, fp,
+                    med_wall, med_sps);
         }
         std::printf("\nwrote %s\n", args.get("csv").c_str());
     }
@@ -242,7 +373,7 @@ int main(int argc, char** argv) {
     if (args.has("json")) {
         const std::string path = args.get("json");
         std::ofstream out(path);
-        out << bench_json(records, opts, batch_wall) << "\n";
+        out << bench_json(records, aggregates, opts, batch_wall) << "\n";
         out.close();
         if (!out) {
             std::fprintf(stderr, "cannot write %s\n", path.c_str());

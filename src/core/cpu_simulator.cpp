@@ -2,6 +2,7 @@
 
 #include "core/rules.hpp"
 #include "exec/thread_pool.hpp"
+#include "simd/row_ops.hpp"
 
 namespace pedsim::core {
 
@@ -11,19 +12,27 @@ void CpuSimulator::stage_reset() {
 }
 
 void CpuSimulator::initial_calc_rows(int begin_row, int end_row) {
-    // Row-major sweep of occupied cells: compute FRONT CELL and, when the
-    // front is blocked (or forward priority is disabled), the scan row.
+    // Mask sweep of occupied cells: one SIMD pass turns each padded
+    // occupancy row into an agent bitmask, and only set bits run the
+    // scalar body — bit-exact with the old cell loop because it skipped
+    // exactly the cells with index_at <= 0, and iteration stays
+    // column-ascending (words ascending, count-trailing-zeros per word).
     // Writes land in the cell's own agent row, so slices are disjoint.
+    const int nwords = env_.bit_words();
+    std::vector<std::uint64_t> agents(static_cast<std::size_t>(nwords));
     for (int r = begin_row; r < end_row; ++r) {
-        for (int c = 0; c < env_.cols(); ++c) {
+        simd::agent_bits(env_.occ_row_padded(r), env_.stride(),
+                         grid::kWallOcc, agents.data());
+        simd::for_each_set_bit(agents.data(), nwords, [&](int p) {
+            const int c = p - 1;  // padded byte position -> logical column
             const std::int32_t i = env_.index_at(r, c);
-            if (i <= 0) continue;
             const auto idx = static_cast<std::size_t>(i);
             const grid::Group g = props_.group_of(i);
 
             const auto fwd = grid::kNeighborOffsets[static_cast<std::size_t>(
                 grid::forward_neighbor(g))];
-            const bool front_empty = env_.walkable(r + fwd.dr, c + fwd.dc);
+            const bool front_empty =
+                env_.walkable_halo(r + fwd.dr, c + fwd.dc);
             props_.front_blocked[idx] = front_empty ? 0 : 1;
 
             const bool panicked = panic_applies(r, c);
@@ -32,12 +41,12 @@ void CpuSimulator::initial_calc_rows(int begin_row, int end_row) {
             // priority is suspended while a chain steers them.
             if (!panicked && config_.forward_priority && front_empty &&
                 !waypoint_pending(i)) {
-                continue;
+                return;
             }
 
             scan_.count(i) =
                 static_cast<std::int8_t>(fill_scan_row(i, r, c, g));
-        }
+        });
     }
 }
 
@@ -71,20 +80,57 @@ void CpuSimulator::movement_rows(int begin_row, int end_row,
                                  std::vector<Move>& out_moves) const {
     // Scatter-to-gather: every empty cell collects the neighbours whose
     // FUTURE cell is this cell and draws one winner on the cell's stream.
+    //
+    // Candidate mask per row: empty cells that have at least one agent in
+    // their 8-neighbourhood — empty_bits(r) AND the one-cell dilation of
+    // agent_bits(r-1) | agent_bits(r) | agent_bits(r+1). This is exactly
+    // the set of cells where the old loop did any work: a skipped cell is
+    // either occupied (not in the empty mask) or has no agent neighbour,
+    // and gather_proposers returns 0 there before any stream is created —
+    // so skipping it can never consume or reorder an RNG draw. The halo
+    // rows above/below the grid are all-sentinel and contribute no bits.
+    const int nwords = env_.bit_words();
+    const int stride = env_.stride();
+    std::vector<std::uint64_t> buf(static_cast<std::size_t>(nwords) * 6);
+    std::uint64_t* agent[3] = {buf.data(), buf.data() + nwords,
+                               buf.data() + 2 * nwords};
+    std::uint64_t* empty_m = buf.data() + 3 * nwords;
+    std::uint64_t* uni = buf.data() + 4 * nwords;
+    std::uint64_t* cand = buf.data() + 5 * nwords;
+
+    simd::agent_bits(env_.occ_row_padded(begin_row - 1), stride,
+                     grid::kWallOcc, agent[0]);
+    simd::agent_bits(env_.occ_row_padded(begin_row), stride, grid::kWallOcc,
+                     agent[1]);
+
     std::int32_t proposers[grid::kNeighborCount];
     for (int r = begin_row; r < end_row; ++r) {
-        for (int c = 0; c < env_.cols(); ++c) {
-            if (!env_.empty(r, c)) continue;
+        simd::agent_bits(env_.occ_row_padded(r + 1), stride, grid::kWallOcc,
+                         agent[2]);
+        for (int w = 0; w < nwords; ++w) {
+            uni[w] = agent[0][w] | agent[1][w] | agent[2][w];
+        }
+        simd::dilate1(uni, cand, nwords);
+        simd::empty_bits(env_.occ_row_padded(r), stride, empty_m);
+        for (int w = 0; w < nwords; ++w) cand[w] &= empty_m[w];
+
+        simd::for_each_set_bit(cand, nwords, [&](int p) {
+            const int c = p - 1;
             const int n = gather_proposers(env_, props_.future_row.data(),
                                            props_.future_col.data(), r, c,
                                            proposers);
-            if (n == 0) continue;
+            if (n == 0) return;
             rng::Stream stream(config_.seed, rng::Stage::kMovement,
                                static_cast<std::uint64_t>(env_.flat(r, c)),
                                step_);
             const int w = select_winner(stream, n);
             out_moves.push_back({proposers[w], r, c});
-        }
+        });
+
+        std::uint64_t* const oldest = agent[0];
+        agent[0] = agent[1];
+        agent[1] = agent[2];
+        agent[2] = oldest;
     }
 }
 

@@ -107,10 +107,13 @@ void GpuSimulator::stage_initial_calc() {
     const simt::Dim2 block{simt::kTileEdge, simt::kTileEdge};
     const simt::Dim2 grid{env_.cols() / simt::kTileEdge,
                           env_.rows() / simt::kTileEdge};
+    // The environment's rows are padded for SIMD; the views carry the
+    // stride so kernel-side (r, c) addressing is unchanged. Pheromone
+    // fields stay dense (stride = cols default).
     const simt::GlobalView<std::uint8_t> occ_view{
-        env_.occupancy_raw().data(), env_.rows(), env_.cols()};
+        env_.occ_row(0), env_.rows(), env_.cols(), env_.stride()};
     const simt::GlobalView<std::int32_t> idx_view{
-        env_.index_raw().data(), env_.rows(), env_.cols()};
+        env_.idx_row(0), env_.rows(), env_.cols(), env_.stride()};
     const bool aco = config_.model == Model::kAco;
     simt::GlobalView<double> ptop_view, pbot_view;
     if (aco) {
@@ -217,8 +220,7 @@ void GpuSimulator::stage_initial_calc() {
                     24 * std::max(config_.scan.range, 1)));
                 ctx.global_load(kAccessProps,
                                 reinterpret_cast<std::uint64_t>(
-                                    env_.occupancy_raw().data() +
-                                    env_.flat(r, c)),
+                                    env_.occ_row(r) + c),
                                 static_cast<std::uint32_t>(
                                     8 * std::max(config_.scan.range, 1)));
                 if (agent) {
@@ -329,9 +331,9 @@ void GpuSimulator::stage_movement(std::vector<Move>& out_moves) {
     const simt::Dim2 grid{env_.cols() / simt::kTileEdge,
                           env_.rows() / simt::kTileEdge};
     const simt::GlobalView<std::uint8_t> occ_view{
-        env_.occupancy_raw().data(), env_.rows(), env_.cols()};
+        env_.occ_row(0), env_.rows(), env_.cols(), env_.stride()};
     const simt::GlobalView<std::int32_t> idx_view{
-        env_.index_raw().data(), env_.rows(), env_.cols()};
+        env_.idx_row(0), env_.rows(), env_.cols(), env_.stride()};
     const bool aco = config_.model == Model::kAco;
 
     std::fill(winner_.begin(), winner_.end(), 0);

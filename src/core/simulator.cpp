@@ -83,7 +83,10 @@ Simulator::Simulator(const SimConfig& config)
 }
 
 int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
-    auto empty = [&](int rr, int cc) { return env_.walkable(rr, cc); };
+    // Branch-free emptiness via the padded occupancy frame; the concrete
+    // functor type also routes the scan builders' ray_congestion calls to
+    // the vectorized overload.
+    const EnvEmpty empty{&env_};
     const auto idx = static_cast<std::size_t>(i);
     if (props_.panicked[idx] != 0) {
         return build_candidates_flee_t(empty, config_.panic, g, r, c,
@@ -98,6 +101,13 @@ int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
                                                config_.grid, g, r, c,
                                                scan_.values(i),
                                                scan_.cells(i));
+        }
+        // Plain geodesic LEM: cost() is a bare table read, so the batched
+        // gather builder produces bit-identical values.
+        if (!field.blending() && field.now()->geodesic()) {
+            return build_candidates_lem_geo(empty, field.now()->geo_data(g),
+                                            config_.grid.cols, g, r, c,
+                                            scan_.values(i), scan_.cells(i));
         }
         return build_candidates_lem_t(empty, field, g, r, c,
                                       scan_.values(i), scan_.cells(i));

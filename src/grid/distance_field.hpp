@@ -80,6 +80,12 @@ class DistanceField {
                     static_cast<std::size_t>(c)];
     }
 
+    /// Raw flat geodesic table of group g (logical `cols` pitch) — the
+    /// base pointer for the SIMD candidate gathers. Geodesic mode only.
+    [[nodiscard]] const double* geo_data(Group g) const {
+        return geo_[g == Group::kTop ? 0 : 1].data();
+    }
+
     /// Remaining-effort of the CANDIDATE cell (r, c) for an agent standing
     /// at column c - dc — the one call the movement rules make. Analytic
     /// mode reproduces the paper's table bit-exactly; geodesic mode reads
@@ -158,6 +164,10 @@ class BlendedField {
 
     [[nodiscard]] bool blending() const { return next_ != nullptr; }
     [[nodiscard]] double weight() const { return weight_; }
+    /// The current phase's field (what cost() forwards to when not
+    /// blending) — lets the engines dispatch the batched-gather candidate
+    /// builder exactly when cost() would be a plain geodesic table read.
+    [[nodiscard]] const DistanceField* now() const { return now_; }
 
     /// Candidate cost of cell (r, c) for an agent displaced dc laterally —
     /// same contract as DistanceField::cost.

@@ -8,8 +8,22 @@ Environment::Environment(GridConfig config) : config_(config) {
             "Environment dimensions must be positive multiples of the 16-cell "
             "tile edge (paper section IV.a)");
     }
-    occupancy_.assign(config_.cell_count(), 0);
-    index_.assign(config_.cell_count(), 0);
+    // Padded layout: sentinel column + cols cells + trailing pad, rounded
+    // to the SIMD row alignment, with one halo row above and below. The
+    // whole allocation starts as wall sentinel; only the logical cells are
+    // then opened up — so the frame needs no separate initialization and
+    // any byte outside the logical grid reads kWallOcc forever.
+    stride_ = ((config_.cols + 2 + simd::kRowAlign - 1) / simd::kRowAlign) *
+              simd::kRowAlign;
+    const auto padded_size = static_cast<std::size_t>(config_.rows + 2) *
+                             static_cast<std::size_t>(stride_);
+    occupancy_.assign(padded_size, kWallOcc);
+    index_.assign(padded_size, 0);
+    for (int r = 0; r < config_.rows; ++r) {
+        for (int c = 0; c < config_.cols; ++c) {
+            occupancy_[padded(r, c)] = 0;
+        }
+    }
 }
 
 void Environment::place(int r, int c, Group g, std::int32_t index) {
@@ -18,22 +32,22 @@ void Environment::place(int r, int c, Group g, std::int32_t index) {
         throw std::invalid_argument("place: needs a real group and 1-based index");
     }
     if (!empty(r, c)) throw std::logic_error("place: cell already occupied");
-    occupancy_[flat(r, c)] = static_cast<std::uint8_t>(g);
-    index_[flat(r, c)] = index;
+    occupancy_[padded(r, c)] = static_cast<std::uint8_t>(g);
+    index_[padded(r, c)] = index;
 }
 
 void Environment::clear(int r, int c) {
     if (!in_bounds(r, c)) throw std::out_of_range("clear: off-grid");
-    occupancy_[flat(r, c)] = 0;
-    index_[flat(r, c)] = 0;
+    occupancy_[padded(r, c)] = 0;
+    index_[padded(r, c)] = 0;
 }
 
 void Environment::move(int fr, int fc, int tr, int tc) {
     if (!in_bounds(fr, fc) || !in_bounds(tr, tc)) {
         throw std::out_of_range("move: off-grid");
     }
-    const auto from = flat(fr, fc);
-    const auto to = flat(tr, tc);
+    const auto from = padded(fr, fc);
+    const auto to = padded(tr, tc);
     if (occupancy_[from] == 0) throw std::logic_error("move: source empty");
     if (occupancy_[to] != 0) throw std::logic_error("move: target occupied");
     occupancy_[to] = occupancy_[from];
@@ -45,19 +59,31 @@ void Environment::move(int fr, int fc, int tr, int tc) {
 void Environment::set_wall(int r, int c) {
     if (!in_bounds(r, c)) throw std::out_of_range("set_wall: off-grid");
     if (!empty(r, c)) throw std::logic_error("set_wall: cell already occupied");
-    occupancy_[flat(r, c)] = kWallOcc;
-    index_[flat(r, c)] = 0;
+    occupancy_[padded(r, c)] = kWallOcc;
+    index_[padded(r, c)] = 0;
 }
 
 std::size_t Environment::population() const {
+    // Logical cells only: the sentinel frame is kWallOcc by construction
+    // and must count as neither population nor user-visible walls.
     std::size_t n = 0;
-    for (const auto v : occupancy_) n += (v != 0 && v != kWallOcc);
+    for (int r = 0; r < config_.rows; ++r) {
+        const std::uint8_t* row = occ_row(r);
+        for (int c = 0; c < config_.cols; ++c) {
+            n += (row[c] != 0 && row[c] != kWallOcc);
+        }
+    }
     return n;
 }
 
 std::size_t Environment::wall_count() const {
     std::size_t n = 0;
-    for (const auto v : occupancy_) n += (v == kWallOcc);
+    for (int r = 0; r < config_.rows; ++r) {
+        const std::uint8_t* row = occ_row(r);
+        for (int c = 0; c < config_.cols; ++c) {
+            n += (row[c] == kWallOcc);
+        }
+    }
     return n;
 }
 

@@ -1,6 +1,25 @@
 // The simulation environment: the paper's `mat` occupancy matrix plus the
 // parallel index matrix that maps an occupied cell to the row of the
 // property/scan matrices describing its agent (section IV.a, Fig. 2a/2b).
+//
+// Storage layout (since the SIMD hot path landed): rows are padded to
+// simd::kRowAlign bytes and framed by kWallOcc sentinels —
+//
+//   stride = round_up(cols + 2, kRowAlign)
+//   padded row r = [sentinel][cols logical cells][trailing pad....]
+//   plus one all-sentinel halo row above (r = -1) and below (r = rows)
+//
+// so `padded(r, c) = (r + 1) * stride + (c + 1)` is valid for every
+// r in [-1, rows], c in [-1, stride - 2], and a read there answers the
+// walkability question branch-free: off-grid and walls are kWallOcc in
+// occupancy (index 0), exactly the SIMT halo loaders' edge semantics. The
+// index matrix shares the geometry with 0-filled framing. The stride is
+// fixed at kRowAlign regardless of which SIMD backend is compiled, so the
+// state layout — and every Environment comparison — is build-invariant.
+//
+// `flat(r, c)` stays the LOGICAL row-major id (r * cols + c): it keys the
+// movement-stage RNG streams, DistanceField cells and scenario-file cell
+// ids, none of which may ever depend on padding.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +27,7 @@
 #include <vector>
 
 #include "grid/neighborhood.hpp"
+#include "simd/simd.hpp"
 
 namespace pedsim::grid {
 
@@ -15,7 +35,8 @@ namespace pedsim::grid {
 /// use this value for off-grid cells, so in-grid walls flow through both
 /// engines' emptiness tests with zero new branches: any non-zero occupancy
 /// blocks movement, and a wall's index stays 0 so it never proposes,
-/// gathers, or deposits.
+/// gathers, or deposits. The padded-row framing reuses it, which is what
+/// lets the SIMD masks treat "off grid" and "wall" as one lane value.
 inline constexpr std::uint8_t kWallOcc = 255;
 
 /// Geometry of the environment. The paper fixes 480x480 and requires
@@ -55,17 +76,17 @@ class Environment {
 
     /// Group label occupying cell (r, c); Group::kNone when empty.
     [[nodiscard]] Group occupancy(int r, int c) const {
-        return static_cast<Group>(occupancy_[flat(r, c)]);
+        return static_cast<Group>(occupancy_[padded(r, c)]);
     }
     /// 1-based property-table row of the agent at (r, c); 0 when empty.
     [[nodiscard]] std::int32_t index_at(int r, int c) const {
-        return index_[flat(r, c)];
+        return index_[padded(r, c)];
     }
     [[nodiscard]] bool empty(int r, int c) const {
-        return occupancy_[flat(r, c)] == 0;
+        return occupancy_[padded(r, c)] == 0;
     }
     [[nodiscard]] bool is_wall(int r, int c) const {
-        return occupancy_[flat(r, c)] == kWallOcc;
+        return occupancy_[padded(r, c)] == kWallOcc;
     }
 
     /// True when an agent could stand at (r, c): in bounds, no wall, no
@@ -73,6 +94,18 @@ class Environment {
     /// never move off the edge).
     [[nodiscard]] bool walkable(int r, int c) const {
         return in_bounds(r, c) && empty(r, c);
+    }
+
+    /// Branch-free walkable() for the one-cell neighbourhood: valid for
+    /// r in [-1, rows], c in [-1, stride() - 2], where the sentinel frame
+    /// answers "off grid" with kWallOcc instead of a bounds test.
+    [[nodiscard]] bool walkable_halo(int r, int c) const {
+        return occupancy_[padded(r, c)] == 0;
+    }
+    /// index_at() over the same halo range: framing cells read 0 (no
+    /// agent), so neighbour gathers need no bounds test either.
+    [[nodiscard]] std::int32_t index_halo(int r, int c) const {
+        return index_[padded(r, c)];
     }
 
     void place(int r, int c, Group g, std::int32_t index);
@@ -86,22 +119,51 @@ class Environment {
     /// remove them again via clear().
     void set_wall(int r, int c);
 
+    /// LOGICAL row-major cell id — the RNG-stream / DistanceField /
+    /// scenario-file key. Never storage-dependent.
     [[nodiscard]] std::size_t flat(int r, int c) const {
         return static_cast<std::size_t>(r) * config_.cols +
                static_cast<std::size_t>(c);
     }
 
-    /// Raw views for the SIMT kernels (device "global memory").
+    /// Padded storage offset of (r, c); valid over the full sentinel frame
+    /// (r in [-1, rows], c in [-1, stride() - 2]).
+    [[nodiscard]] std::size_t padded(int r, int c) const {
+        return static_cast<std::size_t>(r + 1) *
+                   static_cast<std::size_t>(stride_) +
+               static_cast<std::size_t>(c + 1);
+    }
+    /// Padded bytes per row (multiple of simd::kRowAlign).
+    [[nodiscard]] int stride() const { return stride_; }
+    /// 64-bit mask words per padded row.
+    [[nodiscard]] int bit_words() const { return stride_ / 64; }
+
+    /// Pointer to logical column 0 of row r (r in [-1, rows]); columns
+    /// -1 .. stride() - 2 are addressable around it. occ_row(0) with
+    /// stride() is the SIMT engines' global-memory view base.
+    [[nodiscard]] const std::uint8_t* occ_row(int r) const {
+        return occupancy_.data() + padded(r, 0);
+    }
+    [[nodiscard]] const std::int32_t* idx_row(int r) const {
+        return index_.data() + padded(r, 0);
+    }
+    /// Pointer to the START of padded row r (the sentinel column), always
+    /// kRowAlign-aligned within the allocation: the base the SIMD mask
+    /// builders consume whole rows from. Byte p is logical column p - 1.
+    [[nodiscard]] const std::uint8_t* occ_row_padded(int r) const {
+        return occupancy_.data() +
+               static_cast<std::size_t>(r + 1) *
+                   static_cast<std::size_t>(stride_);
+    }
+
+    /// Raw PADDED storage (framing sentinels included); size is
+    /// (rows + 2) * stride(). Index with padded(), never flat().
     [[nodiscard]] const std::vector<std::uint8_t>& occupancy_raw() const {
         return occupancy_;
     }
     [[nodiscard]] const std::vector<std::int32_t>& index_raw() const {
         return index_;
     }
-    [[nodiscard]] std::vector<std::uint8_t>& occupancy_raw() {
-        return occupancy_;
-    }
-    [[nodiscard]] std::vector<std::int32_t>& index_raw() { return index_; }
 
     /// Number of cells occupied by agents, excluding walls (linear scan;
     /// used by tests/invariants).
@@ -113,6 +175,7 @@ class Environment {
 
   private:
     GridConfig config_;
+    int stride_ = 0;
     std::vector<std::uint8_t> occupancy_;  // Group labels, 0 = empty
     std::vector<std::int32_t> index_;      // 1-based agent indices, 0 = empty
 };

@@ -1,0 +1,173 @@
+// Row-level primitives of the per-step hot path, built on simd::VecU8.
+//
+// The grid stores each row padded to kRowAlign bytes with kWallOcc
+// sentinels (leading sentinel column, trailing pad, halo rows above and
+// below — see grid::Environment), so these functions can always consume
+// whole padded rows: every 64-byte block becomes one 64-bit mask word and
+// no tail handling exists on the row path. Byte position p of a padded row
+// corresponds to logical column p - 1; sentinel and pad bytes are
+// kWallOcc, so they never set a bit in either mask.
+//
+// Everything here is integer masks, integer counts, or verbatim double
+// loads — no floating-point arithmetic — which is why the engines can use
+// the dispatch functions while every fingerprint stays bit-identical to
+// the scalar build. The simd::scalar reference implementations are always
+// compiled; tests/simd_test.cpp pins dispatch == reference per primitive.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace pedsim::simd {
+
+inline constexpr int kWordBits = 64;
+
+/// Dense-lane mask for one VecU8 worth of eq_bits output.
+inline constexpr std::uint32_t kLaneMask =
+    kU8Lanes >= 32 ? 0xFFFFFFFFu : ((1u << kU8Lanes) - 1u);
+
+namespace scalar {
+
+/// Bit p of words[] = (row[p] == 0). nbytes must be a multiple of 64.
+inline void empty_bits(const std::uint8_t* row, int nbytes,
+                       std::uint64_t* words) {
+    const int nwords = nbytes / kWordBits;
+    for (int w = 0; w < nwords; ++w) {
+        std::uint64_t word = 0;
+        for (int b = 0; b < kWordBits; ++b) {
+            word |= static_cast<std::uint64_t>(row[w * kWordBits + b] == 0)
+                    << b;
+        }
+        words[w] = word;
+    }
+}
+
+/// Bit p of words[] = (row[p] != 0 && row[p] != wall): cells holding an
+/// agent, excluding walls and the sentinel/pad bytes (which are `wall`).
+inline void agent_bits(const std::uint8_t* row, int nbytes, std::uint8_t wall,
+                       std::uint64_t* words) {
+    const int nwords = nbytes / kWordBits;
+    for (int w = 0; w < nwords; ++w) {
+        std::uint64_t word = 0;
+        for (int b = 0; b < kWordBits; ++b) {
+            const std::uint8_t v = row[w * kWordBits + b];
+            word |= static_cast<std::uint64_t>(v != 0 && v != wall) << b;
+        }
+        words[w] = word;
+    }
+}
+
+/// Occupied (non-zero) bytes among p[0..len): walls count, empties don't.
+inline int count_occupied(const std::uint8_t* p, int len) {
+    int n = 0;
+    for (int i = 0; i < len; ++i) n += (p[i] != 0);
+    return n;
+}
+
+/// out[i] = base[idx[i]] — verbatim element copies, no arithmetic.
+inline void gather_f64(const double* base, const std::int32_t* idx, int n,
+                       double* out) {
+    for (int i = 0; i < n; ++i) {
+        out[i] = base[static_cast<std::size_t>(idx[i])];
+    }
+}
+
+}  // namespace scalar
+
+namespace detail {
+
+/// 64-bit mask of (p[i] == target lane value) over 64 consecutive bytes.
+inline std::uint64_t eq_word(const std::uint8_t* p, VecU8 target) {
+    constexpr int kChunks = kWordBits / kU8Lanes;
+    std::uint64_t word = 0;
+    for (int i = 0; i < kChunks; ++i) {
+        word |= static_cast<std::uint64_t>(
+                    VecU8::eq_bits(VecU8::loadu(p + i * kU8Lanes), target))
+                << (i * kU8Lanes);
+    }
+    return word;
+}
+
+}  // namespace detail
+
+inline void empty_bits(const std::uint8_t* row, int nbytes,
+                       std::uint64_t* words) {
+    const VecU8 zero = VecU8::splat(0);
+    const int nwords = nbytes / kWordBits;
+    for (int w = 0; w < nwords; ++w) {
+        words[w] = detail::eq_word(row + w * kWordBits, zero);
+    }
+}
+
+inline void agent_bits(const std::uint8_t* row, int nbytes, std::uint8_t wall,
+                       std::uint64_t* words) {
+    const VecU8 zero = VecU8::splat(0);
+    const VecU8 wallv = VecU8::splat(wall);
+    const int nwords = nbytes / kWordBits;
+    for (int w = 0; w < nwords; ++w) {
+        const std::uint8_t* p = row + w * kWordBits;
+        words[w] = ~(detail::eq_word(p, zero) | detail::eq_word(p, wallv));
+    }
+}
+
+inline int count_occupied(const std::uint8_t* p, int len) {
+    const VecU8 zero = VecU8::splat(0);
+    int n = 0;
+    int i = 0;
+    for (; i + kU8Lanes <= len; i += kU8Lanes) {
+        const std::uint32_t eq0 = VecU8::eq_bits(VecU8::loadu(p + i), zero);
+        n += std::popcount(~eq0 & kLaneMask);
+    }
+    for (; i < len; ++i) n += (p[i] != 0);
+    return n;
+}
+
+inline void gather_f64(const double* base, const std::int32_t* idx, int n,
+                       double* out) {
+#if PEDSIM_SIMD_AVX2
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i vi =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+        _mm256_storeu_pd(out + i, _mm256_i32gather_pd(base, vi, 8));
+    }
+    for (; i < n; ++i) out[i] = base[static_cast<std::size_t>(idx[i])];
+#else
+    scalar::gather_f64(base, idx, n, out);
+#endif
+}
+
+/// Bit p of dst[] = (src has a bit at p-1, p, or p+1): one-cell dilation in
+/// byte-position (= column) space, with cross-word carries. Bits shifted
+/// past the buffer edges are dropped — callers' buffers span the full
+/// padded row, whose edge positions are sentinel/pad and never consulted.
+inline void dilate1(const std::uint64_t* src, std::uint64_t* dst,
+                    int nwords) {
+    for (int w = 0; w < nwords; ++w) {
+        const std::uint64_t m = src[w];
+        const std::uint64_t from_left =
+            (m << 1) | (w > 0 ? src[w - 1] >> 63 : 0);
+        const std::uint64_t from_right =
+            (m >> 1) | (w + 1 < nwords ? src[w + 1] << 63 : 0);
+        dst[w] = m | from_left | from_right;
+    }
+}
+
+/// Invoke fn(p) for every set bit position p, in ascending order (words
+/// ascending, bits by count-trailing-zeros) — the row-major cell order the
+/// engines' scalar loops used, so iteration order is preserved exactly.
+template <typename Fn>
+inline void for_each_set_bit(const std::uint64_t* words, int nwords,
+                             Fn&& fn) {
+    for (int w = 0; w < nwords; ++w) {
+        std::uint64_t m = words[w];
+        while (m != 0) {
+            fn(w * kWordBits + std::countr_zero(m));
+            m &= m - 1;
+        }
+    }
+}
+
+}  // namespace pedsim::simd

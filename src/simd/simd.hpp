@@ -1,0 +1,121 @@
+// Portable fixed-width vector layer for the per-step hot path.
+//
+// Backend selection is compile-time: the PEDSIM_SIMD CMake option defines
+// PEDSIM_SIMD_ENABLED, and the instruction set the compiler targets picks
+// the implementation — AVX2 on x86-64, NEON on arm64, and a plain scalar
+// fallback everywhere else (and whenever the option is OFF). Every
+// primitive built on this wrapper has a scalar reference implementation in
+// simd::scalar that is ALWAYS compiled; tests/simd_test.cpp pins
+// dispatch == reference on randomized inputs, which is what lets the
+// engines use the dispatch functions while staying bit-exact across
+// backends: the vector code only ever computes masks, integer counts and
+// verbatim element gathers — never reassociated floating-point arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(PEDSIM_SIMD_ENABLED) && defined(__AVX2__)
+#define PEDSIM_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(PEDSIM_SIMD_ENABLED) && defined(__ARM_NEON) && \
+    defined(__aarch64__)
+#define PEDSIM_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define PEDSIM_SIMD_SCALAR 1
+#endif
+
+namespace pedsim::simd {
+
+/// Row alignment the grid storage pads to, in bytes. Fixed at the widest
+/// supported vector granularity (one 64-cell mask word) INDEPENDENT of the
+/// selected backend, so the padded grid layout — and with it every
+/// fingerprint, Environment comparison and golden corpus row — is
+/// identical whether a build runs AVX2, NEON or the scalar fallback.
+inline constexpr int kRowAlign = 64;
+
+/// u8 lanes processed per vector op by the active backend.
+#if PEDSIM_SIMD_AVX2
+inline constexpr int kU8Lanes = 32;
+#elif PEDSIM_SIMD_NEON
+inline constexpr int kU8Lanes = 16;
+#else
+inline constexpr int kU8Lanes = 8;
+#endif
+
+[[nodiscard]] inline const char* backend_name() {
+#if PEDSIM_SIMD_AVX2
+    return "avx2";
+#elif PEDSIM_SIMD_NEON
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+/// Fixed-width vector of kU8Lanes unsigned bytes. Only the operations the
+/// hot path needs: unaligned load, broadcast, bytewise OR, and lane
+/// equality compressed to a dense bitmask (lane i -> bit i).
+struct VecU8 {
+#if PEDSIM_SIMD_AVX2
+    __m256i v;
+
+    static VecU8 loadu(const std::uint8_t* p) {
+        return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+    }
+    static VecU8 splat(std::uint8_t x) {
+        return {_mm256_set1_epi8(static_cast<char>(x))};
+    }
+    friend VecU8 operator|(VecU8 a, VecU8 b) {
+        return {_mm256_or_si256(a.v, b.v)};
+    }
+    /// Bit i of the result = (a.lane[i] == b.lane[i]).
+    static std::uint32_t eq_bits(VecU8 a, VecU8 b) {
+        return static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(a.v, b.v)));
+    }
+#elif PEDSIM_SIMD_NEON
+    uint8x16_t v;
+
+    static VecU8 loadu(const std::uint8_t* p) { return {vld1q_u8(p)}; }
+    static VecU8 splat(std::uint8_t x) { return {vdupq_n_u8(x)}; }
+    friend VecU8 operator|(VecU8 a, VecU8 b) { return {vorrq_u8(a.v, b.v)}; }
+    static std::uint32_t eq_bits(VecU8 a, VecU8 b) {
+        const uint8x16_t eq = vceqq_u8(a.v, b.v);
+        // Classic aarch64 movemask: weight each lane by its bit position
+        // and horizontally add each half.
+        const uint8x16_t weights = {1, 2, 4, 8, 16, 32, 64, 128,
+                                    1, 2, 4, 8, 16, 32, 64, 128};
+        const uint8x16_t masked = vandq_u8(eq, weights);
+        const std::uint32_t lo = vaddv_u8(vget_low_u8(masked));
+        const std::uint32_t hi = vaddv_u8(vget_high_u8(masked));
+        return lo | (hi << 8);
+    }
+#else
+    // Scalar fallback: one 64-bit word holding 8 lanes (SWAR where it is
+    // trivially exact, plain loops otherwise).
+    std::uint64_t v;
+
+    static VecU8 loadu(const std::uint8_t* p) {
+        std::uint64_t x;
+        std::memcpy(&x, p, sizeof(x));
+        return {x};
+    }
+    static VecU8 splat(std::uint8_t x) {
+        return {0x0101010101010101ull * x};
+    }
+    friend VecU8 operator|(VecU8 a, VecU8 b) { return {a.v | b.v}; }
+    static std::uint32_t eq_bits(VecU8 a, VecU8 b) {
+        std::uint32_t bits = 0;
+        for (int i = 0; i < 8; ++i) {
+            const auto la = (a.v >> (8 * i)) & 0xFFu;
+            const auto lb = (b.v >> (8 * i)) & 0xFFu;
+            bits |= static_cast<std::uint32_t>(la == lb) << i;
+        }
+        return bits;
+    }
+#endif
+};
+
+}  // namespace pedsim::simd

@@ -25,21 +25,30 @@
 namespace pedsim::simt {
 
 /// A read-only view of a device global array with address instrumentation.
+/// `stride` is the element pitch between consecutive rows: it defaults to
+/// `cols` (a dense array) but lets the view walk the environment's padded
+/// SIMD rows in place — the logical (r, c) addressing the kernels use is
+/// unchanged either way.
 template <typename T>
 struct GlobalView {
     const T* data = nullptr;
     int rows = 0;
     int cols = 0;
+    int stride = 0;
+
+    GlobalView() = default;
+    GlobalView(const T* d, int r, int c, int s = 0)
+        : data(d), rows(r), cols(c), stride(s == 0 ? c : s) {}
 
     [[nodiscard]] bool in_bounds(int r, int c) const {
         return r >= 0 && r < rows && c >= 0 && c < cols;
     }
     [[nodiscard]] T at(int r, int c) const {
-        return data[static_cast<std::size_t>(r) * cols + c];
+        return data[static_cast<std::size_t>(r) * stride + c];
     }
     [[nodiscard]] std::uint64_t addr(int r, int c) const {
         return reinterpret_cast<std::uint64_t>(
-            data + (static_cast<std::size_t>(r) * cols + c));
+            data + (static_cast<std::size_t>(r) * stride + c));
     }
 };
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare two pedsim-bench-v1 artifacts and print per-scenario speedups.
+
+    python3 tools/bench_compare.py BENCH_PR6.json BENCH_PR7.json
+
+Runs are grouped by (scenario, engine, model, threads); each group is
+reduced to its median steps_per_s (matching the `aggregates` block that
+scenario_suite --repeats>1 emits — for single-repeat files the median of
+one run is the run itself) and the speedup column is B's median over A's.
+Only combinations present in both files are compared; the rest are listed
+so a shrunken registry can't masquerade as a speedup.
+
+The exit code is always 0 on well-formed input: bench numbers depend on
+the host, so CI runs this step informationally and gates only the schema.
+"""
+
+import json
+import sys
+from statistics import median
+
+
+def load(path):
+    """-> {(scenario, engine, model, threads): median steps_per_s}"""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "pedsim-bench-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    groups = {}
+    for run in doc.get("runs", []):
+        key = (run["scenario"], run["engine"], run["model"], run["threads"])
+        groups.setdefault(key, []).append(float(run["steps_per_s"]))
+    return {key: median(values) for key, values in groups.items()}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base_path, new_path = argv[1], argv[2]
+    base, new = load(base_path), load(new_path)
+
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        print("no shared (scenario, engine, model, threads) combinations")
+        return 0
+
+    header = (
+        f"{'scenario':<22}{'engine':<8}{'model':<7}{'thr':>4}"
+        f"{'base sps':>12}{'new sps':>12}{'speedup':>9}"
+    )
+    print(f"base: {base_path}\nnew:  {new_path}\n\n{header}")
+    print("-" * len(header))
+    speedups = []
+    for key in shared:
+        scenario, engine, model, threads = key
+        b, n = base[key], new[key]
+        ratio = n / b if b > 0 else float("inf")
+        speedups.append(ratio)
+        print(
+            f"{scenario:<22}{engine:<8}{model:<7}{threads:>4}"
+            f"{b:>12.1f}{n:>12.1f}{ratio:>8.2f}x"
+        )
+    print("-" * len(header))
+    print(
+        f"{len(shared)} combinations; median speedup "
+        f"{median(speedups):.2f}x, min {min(speedups):.2f}x, "
+        f"max {max(speedups):.2f}x"
+    )
+
+    for label, only in (
+        (f"only in {base_path}", sorted(set(base) - set(new))),
+        (f"only in {new_path}", sorted(set(new) - set(base))),
+    ):
+        if only:
+            print(f"\n{label}:")
+            for key in only:
+                print(f"  {'/'.join(str(part) for part in key)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
