@@ -7,6 +7,7 @@
 // quantifies the forward-priority modification (section III).
 //
 //   ./ablation_aco_params [--grid=128] [--steps=1500] [--density=15]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -17,7 +18,7 @@ double run_throughput(core::SimConfig cfg, int steps, int repeats) {
     double acc = 0.0;
     for (int rep = 0; rep < repeats; ++rep) {
         cfg.seed = 31 + static_cast<std::uint64_t>(rep);
-        auto sim = core::make_cpu_simulator(cfg);
+        auto sim = backend::make_cpu(cfg);
         acc += static_cast<double>(sim->run(steps).crossed_total());
     }
     return acc / repeats;

@@ -7,6 +7,7 @@
 // with one global atomic per proposer.
 //
 //   ./ablation_conflict_resolution [--densities=5,10,20,30] [--measure=10]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -39,13 +40,13 @@ int main(int argc, char** argv) {
         for (const bool atomic : {false, true}) {
             core::GpuOptions opt;
             opt.atomic_movement = atomic;
-            core::GpuSimulator sim(cfg, opt);
-            sim.run(warmup);
-            const auto before = sim.launch_log().records().size();
-            sim.run(measure);
+            const auto sim = backend::make_simt(cfg, opt);
+            sim->run(warmup);
+            const auto before = sim->launch_log().records().size();
+            sim->run(measure);
             double ms = 0.0;
             std::uint64_t at = 0;
-            const auto& recs = sim.launch_log().records();
+            const auto& recs = sim->launch_log().records();
             for (std::size_t i = before; i < recs.size(); ++i) {
                 if (recs[i].kernel_name != "movement") continue;
                 ms += recs[i].modeled_seconds * 1e3;

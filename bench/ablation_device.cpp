@@ -6,6 +6,7 @@
 // alternative block sizes.
 //
 //   ./ablation_device [--density=10] [--measure=10]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 #include "simt/occupancy.hpp"
 
@@ -37,11 +38,11 @@ int main(int argc, char** argv) {
          {simt::DeviceSpec::gtx560ti(), simt::DeviceSpec::kepler_gk110()}) {
         core::GpuOptions opt;
         opt.device = spec;
-        core::GpuSimulator sim(cfg, opt);
-        sim.run(warmup);
-        const double before = sim.modeled_seconds();
-        sim.run(measure);
-        const double ms = (sim.modeled_seconds() - before) * 1e3 / measure;
+        const auto sim = backend::make_simt(cfg, opt);
+        sim->run(warmup);
+        const double before = sim->modeled_seconds();
+        sim->run(measure);
+        const double ms = (sim->modeled_seconds() - before) * 1e3 / measure;
         if (fermi_ms == 0.0) fermi_ms = ms;
         csv.row(spec.name, threads, ms, fermi_ms / ms);
         table.add_row({spec.name, io::TablePrinter::num(ms, 3),

@@ -8,6 +8,7 @@
 // (tested), only cost differs.
 //
 //   ./ablation_tiling [--densities=5,20] [--measure=10]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -38,14 +39,14 @@ int main(int argc, char** argv) {
         for (const bool remapped : {true, false}) {
             core::GpuOptions opt;
             opt.remapped_halo_load = remapped;
-            core::GpuSimulator sim(cfg, opt);
-            sim.run(warmup);
-            const auto before = sim.launch_log().records().size();
-            sim.run(measure);
+            const auto sim = backend::make_simt(cfg, opt);
+            sim->run(warmup);
+            const auto before = sim->launch_log().records().size();
+            sim->run(measure);
 
             simt::KernelStats tiled;
             double ms = 0.0;
-            const auto& recs = sim.launch_log().records();
+            const auto& recs = sim->launch_log().records();
             for (std::size_t i = before; i < recs.size(); ++i) {
                 if (recs[i].kernel_name != "initial_calc" &&
                     recs[i].kernel_name != "movement") {

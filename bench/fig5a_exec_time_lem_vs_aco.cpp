@@ -10,6 +10,7 @@
 //
 //   ./fig5a_exec_time_lem_vs_aco [--paper] [--measure=12] [--warmup=5]
 //       [--densities=1,5,10,20,30,40] [--steps=25000] [--out=fig5a.csv]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -66,8 +67,8 @@ int main(int argc, char** argv) {
         double seconds[2] = {0, 0};
         for (const auto model : {core::Model::kLem, core::Model::kAco}) {
             cfg.model = model;
-            core::GpuSimulator sim(cfg);
-            const auto t = bench::timed_run(sim, warmup, measure);
+            const auto sim = backend::make_simt(cfg);
+            const auto t = bench::timed_run(*sim, warmup, measure);
             seconds[model == core::Model::kAco] =
                 t.modeled_seconds_per_step * static_cast<double>(full_steps);
         }

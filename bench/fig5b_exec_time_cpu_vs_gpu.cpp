@@ -10,6 +10,7 @@
 //
 //   ./fig5b_exec_time_cpu_vs_gpu [--paper] [--measure=12] [--warmup=5]
 //       [--densities=...] [--steps=25000] [--out=fig5b.csv]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -62,14 +63,14 @@ int main(int argc, char** argv) {
         cfg.seed = 42 + static_cast<std::uint64_t>(d);
         const int threads = bench::apply_threads(args, cfg);
 
-        core::GpuSimulator gpu(cfg);
-        const auto w = bench::gpu_window(gpu, warmup, measure);
+        const auto gpu = backend::make_simt(cfg);
+        const auto w = bench::gpu_window(*gpu, warmup, measure);
         const double gpu_s =
             w.gpu_seconds_per_step * static_cast<double>(full_steps);
         const double cpu_s =
             w.cpu_model_seconds_per_step * static_cast<double>(full_steps);
 
-        auto host = core::make_cpu_simulator(cfg);
+        auto host = backend::make_cpu(cfg);
         const auto th = bench::timed_run(*host, warmup, measure);
         const double host_s =
             th.wall_seconds_per_step * static_cast<double>(full_steps);

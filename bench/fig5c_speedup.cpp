@@ -10,6 +10,7 @@
 //
 //   ./fig5c_speedup [--paper] [--measure=12] [--warmup=5]
 //       [--densities=...] [--out=fig5c.csv]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -57,8 +58,8 @@ int main(int argc, char** argv) {
         cfg.seed = 42 + static_cast<std::uint64_t>(d);
         const int threads = bench::apply_threads(args, cfg);
 
-        core::GpuSimulator gpu(cfg);
-        const auto w = bench::gpu_window(gpu, warmup, measure);
+        const auto gpu = backend::make_simt(cfg);
+        const auto w = bench::gpu_window(*gpu, warmup, measure);
         const double speedup =
             w.cpu_model_seconds_per_step / w.gpu_seconds_per_step;
         if (first == 0.0) first = speedup;

@@ -9,13 +9,16 @@
 //
 // The engines are bit-identical for a given seed (tested property), so the
 // default uses the fast sequential engine; pass --engine=gpu to run the
-// instrumented SIMT engine instead. Default shrinks the grid with density
+// instrumented SIMT engine instead (any backend registry name works,
+// e.g. --backend=sharded-cpu:4). Default shrinks the grid with density
 // held fixed so crossings happen within a short step budget; --paper runs
 // the original 480x480 / 25,000-step / 10-repeat protocol.
 //
 //   ./fig6a_throughput_lem_vs_aco [--paper] [--grid=128] [--steps=1500]
 //       [--repeats=2] [--max_density=20] [--engine=cpu|gpu]
 //       [--out=fig6a.csv]
+#include "backend/cli.hpp"
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 
 using namespace pedsim;
@@ -30,14 +33,17 @@ int main(int argc, char** argv) {
     const int repeats = static_cast<int>(args.get_int("repeats", paper ? 10 : 2));
     const int max_density =
         static_cast<int>(args.get_int("max_density", 20));
-    const bool use_gpu = args.get("engine", "cpu") == "gpu";
+    const backend::EngineSelect engine =
+        backend::engines_from_args(args, {backend::DeviceType::kCpu})
+            .front();
 
     bench::print_protocol(
         "Figure 6a — throughput, LEM vs ACO",
         std::to_string(grid) + "x" + std::to_string(grid) + " grid, " +
             std::to_string(steps) + " steps, " + std::to_string(repeats) +
             " repeats, densities 1.." + std::to_string(max_density) +
-            " (engine: " + (use_gpu ? "gpu-simt" : "cpu") +
+            " (engine: " +
+            backend::engine_label(engine.type, engine.bands) +
             "; engines are bit-identical)");
 
     io::CsvWriter csv(bench::csv_path(args, "fig6a.csv"));
@@ -61,9 +67,7 @@ int main(int argc, char** argv) {
             double acc = 0.0;
             for (int rep = 0; rep < repeats; ++rep) {
                 cfg.seed = 1000 + static_cast<std::uint64_t>(100 * d + rep);
-                auto sim = use_gpu
-                               ? core::make_gpu_simulator(cfg)
-                               : core::make_cpu_simulator(cfg);
+                auto sim = backend::make_engine(engine, cfg);
                 const auto rr = sim->run(steps);
                 acc += static_cast<double>(rr.crossed_total());
             }

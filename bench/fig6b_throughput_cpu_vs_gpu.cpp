@@ -17,6 +17,7 @@
 //
 //   ./fig6b_throughput_cpu_vs_gpu [--paper] [--grid=96] [--steps=700]
 //       [--repeats=1] [--max_density=20] [--out=fig6b.csv]
+#include "backend/device.hpp"
 #include "bench_common.hpp"
 #include "stats/glm.hpp"
 
@@ -64,19 +65,19 @@ int main(int argc, char** argv) {
             const auto seed = 2000 + static_cast<std::uint64_t>(100 * d + rep);
 
             cfg.seed = seed;
-            auto cpu = core::make_cpu_simulator(cfg);
+            auto cpu = backend::make_cpu(cfg);
             const auto rc = cpu->run(steps);
             cpu_tp += static_cast<double>(rc.crossed_total());
 
-            core::GpuSimulator gpu_same(cfg);
-            const auto rs = gpu_same.run(steps);
+            const auto gpu_same = backend::make_simt(cfg);
+            const auto rs = gpu_same->run(steps);
             gpu_same_tp += static_cast<double>(rs.crossed_total());
             any_same_seed_mismatch |=
                 rs.crossed_total() != rc.crossed_total();
 
             cfg.seed = seed + 7777;  // decoupled draws, same distribution
-            core::GpuSimulator gpu_off(cfg);
-            const auto ro = gpu_off.run(steps);
+            const auto gpu_off = backend::make_simt(cfg);
+            const auto ro = gpu_off->run(steps);
             gpu_off_tp += static_cast<double>(ro.crossed_total());
 
             // GLM rows (per repeat): covariates = agents (scaled), platform.

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "core/rules.hpp"
@@ -187,7 +188,7 @@ core::SimConfig small_config(core::Model model) {
 }
 
 void BM_CpuStepLem(benchmark::State& state) {
-    auto sim = core::make_cpu_simulator(small_config(core::Model::kLem));
+    auto sim = backend::make_cpu(small_config(core::Model::kLem));
     for (auto _ : state) {
         benchmark::DoNotOptimize(sim->step());
     }
@@ -195,7 +196,7 @@ void BM_CpuStepLem(benchmark::State& state) {
 BENCHMARK(BM_CpuStepLem);
 
 void BM_CpuStepAco(benchmark::State& state) {
-    auto sim = core::make_cpu_simulator(small_config(core::Model::kAco));
+    auto sim = backend::make_cpu(small_config(core::Model::kAco));
     for (auto _ : state) {
         benchmark::DoNotOptimize(sim->step());
     }
@@ -203,17 +204,17 @@ void BM_CpuStepAco(benchmark::State& state) {
 BENCHMARK(BM_CpuStepAco);
 
 void BM_GpuSimtStepLem(benchmark::State& state) {
-    core::GpuSimulator sim(small_config(core::Model::kLem));
+    const auto sim = backend::make_simt(small_config(core::Model::kLem));
     for (auto _ : state) {
-        benchmark::DoNotOptimize(sim.step());
+        benchmark::DoNotOptimize(sim->step());
     }
 }
 BENCHMARK(BM_GpuSimtStepLem);
 
 void BM_GpuSimtStepAco(benchmark::State& state) {
-    core::GpuSimulator sim(small_config(core::Model::kAco));
+    const auto sim = backend::make_simt(small_config(core::Model::kAco));
     for (auto _ : state) {
-        benchmark::DoNotOptimize(sim.step());
+        benchmark::DoNotOptimize(sim->step());
     }
 }
 BENCHMARK(BM_GpuSimtStepAco);

@@ -8,7 +8,8 @@
 // multi-goal scenarios.
 //
 //   ./scenario_suite                        # full registry, both engines
-//   ./scenario_suite --engines=cpu          # CPU only
+//   ./scenario_suite --backend=cpu          # CPU only
+//   ./scenario_suite --backend=sharded-cpu:4  # row-band engine, 4 bands
 //   ./scenario_suite --models=lem,aco       # force both models everywhere
 //   ./scenario_suite --steps=100 --repeats=3
 //   ./scenario_suite --threads=4             # batch runs as pool jobs
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/cli.hpp"
 #include "io/args.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
@@ -83,7 +85,7 @@ std::vector<Aggregate> aggregate(
     const std::vector<scenario::RunRecord>& records) {
     std::vector<Aggregate> groups;
     for (const auto& r : records) {
-        const std::string engine = scenario::engine_name(r.engine);
+        const std::string engine = scenario::engine_label(r.engine, r.bands);
         const std::string model =
             r.model == core::Model::kLem ? "lem" : "aco";
         Aggregate* g = nullptr;
@@ -165,7 +167,7 @@ std::string bench_json(const std::vector<scenario::RunRecord>& records,
         w.key("scenario");
         w.value(r.scenario);
         w.key("engine");
-        w.value(scenario::engine_name(r.engine));
+        w.value(scenario::engine_label(r.engine, r.bands));
         w.key("model");
         w.value(r.model == core::Model::kLem ? "lem" : "aco");
         w.key("seed");
@@ -242,7 +244,10 @@ int main(int argc, char** argv) {
             "scenario_suite — batch scenario x model x engine runner\n"
             "  [name...]        registry scenarios to run (default: all)\n"
             "  --file=PATH      add a scenario file to the batch\n"
-            "  --engines=LIST   cpu,gpu (default both)\n"
+            "  --backend=LIST   cpu, gpu-simt, sharded-cpu[:<bands>]\n"
+            "                   (default cpu,gpu-simt; --engines/--engine\n"
+            "                   are legacy spellings, --bands=N sets the\n"
+            "                   default sharded band count)\n"
             "  --models=LIST    lem,aco (default: each scenario's own)\n"
             "  --steps=N        override every scenario's step budget\n"
             "  --repeats=N      independent repetitions (default 1; >1\n"
@@ -262,18 +267,11 @@ int main(int argc, char** argv) {
     }
 
     scenario::RunnerOptions opts;
-    if (args.has("engines")) {
-        opts.engines.clear();
-        for (const auto& e : split_csv(args.get("engines"))) {
-            if (e == "cpu") {
-                opts.engines.push_back(scenario::EngineKind::kCpu);
-            } else if (e == "gpu" || e == "gpu-simt") {
-                opts.engines.push_back(scenario::EngineKind::kGpuSimt);
-            } else {
-                std::fprintf(stderr, "unknown engine: %s\n", e.c_str());
-                return 1;
-            }
-        }
+    try {
+        opts.engines = backend::engines_from_args(args, opts.engines);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
     }
     for (const auto& m : split_csv(args.get("models", ""))) {
         if (m == "lem") {
@@ -344,7 +342,7 @@ int main(int argc, char** argv) {
                 r.result.wall_seconds > 0.0
                     ? r.result.steps_run / r.result.wall_seconds
                     : 0.0;
-            const std::string engine = scenario::engine_name(r.engine);
+            const std::string engine = scenario::engine_label(r.engine, r.bands);
             const std::string model =
                 r.model == core::Model::kLem ? "lem" : "aco";
             double med_wall = r.result.wall_seconds;

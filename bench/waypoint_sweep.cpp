@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "backend/cli.hpp"
 #include "io/args.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
@@ -59,7 +60,9 @@ int main(int argc, char** argv) {
             "  --agents=N         agents per side (default 150)\n"
             "  --steps=N          steps per run (default 200)\n"
             "  --threads=N        engine threads (default 1)\n"
-            "  --engines=LIST     cpu,gpu (default both)\n"
+            "  --backend=LIST     cpu, gpu-simt, sharded-cpu[:<bands>]\n"
+            "                     (default cpu,gpu-simt; --engines/--engine\n"
+            "                     are legacy spellings)\n"
             "  --csv=PATH         also write the records as CSV");
         std::puts(obs::cli_help());
         return 0;
@@ -70,19 +73,15 @@ int main(int argc, char** argv) {
     const int steps = static_cast<int>(args.get_int("steps", 200));
     const int threads = static_cast<int>(args.get_int("threads", 1));
 
-    std::vector<scenario::EngineKind> engines{scenario::EngineKind::kCpu,
-                                              scenario::EngineKind::kGpuSimt};
-    if (args.get("engines", "") == "cpu") engines = {scenario::EngineKind::kCpu};
-    if (args.get("engines", "") == "gpu") {
-        engines = {scenario::EngineKind::kGpuSimt};
-    }
+    std::vector<scenario::EngineSelect> engines = backend::engines_from_args(
+        args, {scenario::EngineKind::kCpu, scenario::EngineKind::kSimt});
 
     io::TablePrinter table({"waypoints", "engine", "setup_s", "steps_per_s",
                             "moves_per_s", "crossed", "advances",
                             "fingerprint"});
     struct Row {
         int k;
-        const char* engine;
+        std::string engine;
         double setup_s, sps, mps;
         std::size_t crossed;
         long long advances;
@@ -108,8 +107,9 @@ int main(int argc, char** argv) {
                                    ? static_cast<double>(rr.total_moves) /
                                          rr.wall_seconds
                                    : 0.0;
-            rows.push_back({k, scenario::engine_name(engine), setup_s, sps,
-                            mps, rr.crossed_total(), advances,
+            rows.push_back({k,
+                            scenario::engine_label(engine.type, engine.bands),
+                            setup_s, sps, mps, rr.crossed_total(), advances,
                             scenario::position_fingerprint(*sim)});
             char fp[20];
             std::snprintf(fp, sizeof(fp), "%016llx",

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/metrics.hpp"
 #include "io/args.hpp"
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
         std::max(1, static_cast<int>(args.get_int("frame_every", 10)));
     const int fps = static_cast<int>(args.get_int("fps", 0));
 
-    const auto sim = core::make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     core::GridlockDetector gridlock(60);
 
     io::RenderOptions render_opts;

@@ -10,6 +10,7 @@
 //       [--seed=3] [--out=mass_gathering.csv]
 #include <cstdio>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/metrics.hpp"
 #include "io/args.hpp"
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
             cfg.seed = seed + static_cast<std::uint64_t>(level);
             cfg.exec.threads = args.get_threads();
 
-            const auto sim = core::make_cpu_simulator(cfg);
+            const auto sim = backend::make_cpu(cfg);
             core::ThroughputRecorder rec;
             core::GridlockDetector gridlock(100);
             std::uint64_t conflicts = 0;

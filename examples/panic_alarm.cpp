@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "io/args.hpp"
 #include "io/ascii_render.hpp"
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
     cfg.panic.radius = args.get_double("radius", 20.0);
     const int steps = static_cast<int>(args.get_int("steps", 500));
 
-    const auto sim = core::make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
 
     std::printf(
         "panic alarm scenario: %s model, alarm at step %llu, epicentre "

@@ -7,6 +7,7 @@
 //   ./quickstart [--agents=640] [--steps=400] [--grid=96] [--seed=42]
 #include <cstdio>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "core/metrics.hpp"
@@ -51,14 +52,14 @@ int main(int argc, char** argv) {
         cfg.model = model;
         const char* model_name = model == core::Model::kLem ? "LEM" : "ACO";
 
-        auto cpu = core::make_cpu_simulator(cfg);
+        auto cpu = backend::make_cpu(cfg);
         const auto cpu_result = cpu->run(steps);
         table.add_row({model_name, "cpu",
                        std::to_string(cpu_result.crossed_total()),
                        std::to_string(cpu_result.total_moves),
                        io::TablePrinter::num(cpu_result.wall_seconds, 3), "-"});
 
-        auto gpu = core::make_gpu_simulator(cfg);
+        auto gpu = backend::make_simt(cfg);
         const auto gpu_result = gpu->run(steps);
         table.add_row(
             {model_name, "gpu-simt",
@@ -75,12 +76,12 @@ int main(int argc, char** argv) {
 
     // Peek at the GPU engine's kernel profile for one ACO run.
     cfg.model = core::Model::kAco;
-    core::GpuSimulator gpu(cfg);
-    gpu.run(steps / 4);
+    const auto gpu = backend::make_simt(cfg);
+    gpu->run(steps / 4);
     std::printf("\nModeled kernel profile (ACO, %d steps):\n", steps / 4);
     io::TablePrinter prof({"kernel", "launches(block)", "modeled_ms",
                            "divergence", "gld_MB"});
-    for (const auto& k : gpu.launch_log().by_kernel()) {
+    for (const auto& k : gpu->launch_log().by_kernel()) {
         prof.add_row(
             {k.kernel_name,
              std::to_string(k.block_x) + "x" + std::to_string(k.block_y),

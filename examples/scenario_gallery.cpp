@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/door_schedule.hpp"
 #include "io/args.hpp"
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
 
         // Walls + placement by default; --preview steps the crowd forward
         // on the (exec-policy-aware) CPU engine before rendering.
-        const auto sim = core::make_cpu_simulator(s.sim);
+        const auto sim = backend::make_cpu(s.sim);
         const int preview = static_cast<int>(args.get_int("preview", 0));
         if (preview > 0) sim->run(preview);
         std::fputs(io::render(sim->environment()).c_str(), stdout);

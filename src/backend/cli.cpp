@@ -1,0 +1,42 @@
+#include "backend/cli.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pedsim::backend {
+
+std::vector<EngineSelect> engines_from_args(
+    const io::ArgParser& args, std::vector<EngineSelect> fallback) {
+    std::string list;
+    if (args.has("backend")) {
+        list = args.get("backend");
+    } else if (args.has("engines")) {
+        list = args.get("engines");
+    } else if (args.has("engine")) {
+        list = args.get("engine");
+    } else {
+        return fallback;
+    }
+    auto engines = parse_device_list(list);
+    if (engines.empty()) return fallback;
+    const int bands = bands_from_args(args);
+    if (bands > 0) {
+        for (auto& sel : engines) {
+            if (sel.type == DeviceType::kShardedCpu && sel.bands == 0) {
+                sel.bands = bands;
+            }
+        }
+    }
+    return engines;
+}
+
+int bands_from_args(const io::ArgParser& args) {
+    const auto bands = args.get_int("bands", 0);
+    if (bands < 0) {
+        throw std::invalid_argument("--bands must be >= 0");
+    }
+    return static_cast<int>(bands);
+}
+
+}  // namespace pedsim::backend

@@ -1,0 +1,34 @@
+// Shared engine/backend CLI parsing: the one place harness flags turn
+// into backend::EngineSelect lists, replacing the per-bench string
+// comparisons. Every harness accepts the same spellings:
+//
+//   --backend=LIST   canonical (registry names: cpu, gpu-simt,
+//                    sharded-cpu; aliases gpu/simt/sharded; the sharded
+//                    backend takes an optional :<bands> suffix)
+//   --engines=LIST   legacy spelling, same grammar
+//   --engine=NAME    single-engine legacy spelling
+//   --bands=N        default band count for sharded selections without
+//                    an explicit :<bands> suffix (0 = one per thread)
+//
+// Unknown names throw std::invalid_argument with the registry list, so
+// every CLI reports the same message.
+#pragma once
+
+#include <vector>
+
+#include "backend/device.hpp"
+#include "io/args.hpp"
+
+namespace pedsim::backend {
+
+/// Engine selections from --backend/--engines/--engine (first present
+/// wins), with --bands applied to sharded selections that did not pin a
+/// count inline. Returns `fallback` when none of the flags is present.
+std::vector<EngineSelect> engines_from_args(
+    const io::ArgParser& args, std::vector<EngineSelect> fallback);
+
+/// The --bands flag alone (for harnesses that construct engines
+/// directly from a fixed device type).
+int bands_from_args(const io::ArgParser& args);
+
+}  // namespace pedsim::backend

@@ -1,0 +1,188 @@
+#include "backend/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "backend/sharded_simulator.hpp"
+#include "core/cpu_simulator.hpp"
+
+namespace pedsim::backend {
+
+namespace {
+
+class CpuDevice final : public Device {
+  public:
+    explicit CpuDevice(DeviceOptions options)
+        : Device(DeviceType::kCpu, std::move(options)) {}
+    [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
+        const core::SimConfig& cfg) const override {
+        return std::make_unique<core::CpuSimulator>(cfg);
+    }
+};
+
+class SimtDevice final : public Device {
+  public:
+    explicit SimtDevice(DeviceOptions options)
+        : Device(DeviceType::kSimt, std::move(options)) {}
+    [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
+        const core::SimConfig& cfg) const override {
+        return std::make_unique<core::GpuSimulator>(cfg, options().gpu);
+    }
+};
+
+class ShardedCpuDevice final : public Device {
+  public:
+    explicit ShardedCpuDevice(DeviceOptions options)
+        : Device(DeviceType::kShardedCpu, std::move(options)) {}
+    [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
+        const core::SimConfig& cfg) const override {
+        return std::make_unique<ShardedCpuSimulator>(cfg, options().bands);
+    }
+};
+
+}  // namespace
+
+const char* Device::name() const { return device_name(type_); }
+
+std::unique_ptr<Device> create_device(DeviceType type, DeviceOptions options) {
+    if (options.bands < 0) {
+        throw std::invalid_argument("create_device: negative band count " +
+                                    std::to_string(options.bands));
+    }
+    switch (type) {
+        case DeviceType::kCpu:
+            return std::make_unique<CpuDevice>(std::move(options));
+        case DeviceType::kSimt:
+            return std::make_unique<SimtDevice>(std::move(options));
+        case DeviceType::kShardedCpu:
+            return std::make_unique<ShardedCpuDevice>(std::move(options));
+    }
+    throw std::invalid_argument("create_device: unknown device type");
+}
+
+const char* device_name(DeviceType type) {
+    switch (type) {
+        case DeviceType::kCpu:
+            return "cpu";
+        case DeviceType::kSimt:
+            return "gpu-simt";
+        case DeviceType::kShardedCpu:
+            return "sharded-cpu";
+    }
+    return "unknown";
+}
+
+const std::vector<std::string>& device_names() {
+    static const std::vector<std::string> kNames = {"cpu", "gpu-simt",
+                                                    "sharded-cpu"};
+    return kNames;
+}
+
+bool try_parse_device(std::string_view name, EngineSelect& out) {
+    int bands = 0;
+    // Optional ":<bands>" suffix (meaningful for the sharded backend).
+    if (const auto colon = name.find(':'); colon != std::string_view::npos) {
+        const std::string_view suffix = name.substr(colon + 1);
+        if (suffix.empty()) return false;
+        int value = 0;
+        for (const char ch : suffix) {
+            if (ch < '0' || ch > '9') return false;
+            value = value * 10 + (ch - '0');
+            if (value > 1 << 20) return false;
+        }
+        bands = value;
+        name = name.substr(0, colon);
+    }
+    if (name == "cpu") {
+        out = {DeviceType::kCpu};
+        return bands == 0;  // bands suffix is a sharded-only notion
+    }
+    if (name == "gpu" || name == "simt" || name == "gpu-simt") {
+        out = {DeviceType::kSimt};
+        return bands == 0;
+    }
+    if (name == "sharded" || name == "sharded-cpu") {
+        out = {DeviceType::kShardedCpu, bands};
+        return true;
+    }
+    return false;
+}
+
+EngineSelect parse_device(std::string_view name) {
+    EngineSelect sel;
+    if (!try_parse_device(name, sel)) {
+        std::string names;
+        for (const auto& n : device_names()) {
+            if (!names.empty()) names += ", ";
+            names += n;
+        }
+        throw std::invalid_argument("unknown engine/backend '" +
+                                    std::string(name) + "' (expected one of " +
+                                    names + "; sharded takes an optional " +
+                                    ":<bands> suffix)");
+    }
+    return sel;
+}
+
+std::vector<EngineSelect> parse_device_list(std::string_view csv) {
+    std::vector<EngineSelect> out;
+    while (!csv.empty()) {
+        const auto comma = csv.find(',');
+        const std::string_view item = csv.substr(0, comma);
+        if (!item.empty()) out.push_back(parse_device(item));
+        if (comma == std::string_view::npos) break;
+        csv.remove_prefix(comma + 1);
+    }
+    return out;
+}
+
+int resolve_bands(const core::SimConfig& cfg, int requested) {
+    const int bands =
+        requested > 0 ? requested : cfg.exec.effective_threads();
+    return std::clamp(bands, 1, cfg.grid.rows);
+}
+
+std::string engine_label(DeviceType type, int bands) {
+    std::string label = device_name(type);
+    if (type == DeviceType::kShardedCpu && bands > 0) {
+        label += ":" + std::to_string(bands);
+    }
+    return label;
+}
+
+std::unique_ptr<core::Simulator> make_engine(const EngineSelect& sel,
+                                             const core::SimConfig& cfg) {
+    DeviceOptions options;
+    options.bands = sel.bands;
+    return create_device(sel.type, std::move(options))->create_engine(cfg);
+}
+
+std::unique_ptr<core::Simulator> make_cpu(const core::SimConfig& cfg) {
+    return create_device(DeviceType::kCpu)->create_engine(cfg);
+}
+
+std::unique_ptr<core::GpuSimulator> make_simt(const core::SimConfig& cfg,
+                                              core::GpuOptions options) {
+    // The typed factory still routes construction through the device; the
+    // downcast only widens the static type for launch-log consumers.
+    DeviceOptions device_options;
+    device_options.gpu = std::move(options);
+    auto engine = create_device(DeviceType::kSimt, std::move(device_options))
+                      ->create_engine(cfg);
+    return std::unique_ptr<core::GpuSimulator>(
+        static_cast<core::GpuSimulator*>(engine.release()));
+}
+
+std::unique_ptr<ShardedCpuSimulator> make_sharded(const core::SimConfig& cfg,
+                                                  int bands) {
+    DeviceOptions device_options;
+    device_options.bands = bands;
+    auto engine =
+        create_device(DeviceType::kShardedCpu, std::move(device_options))
+            ->create_engine(cfg);
+    return std::unique_ptr<ShardedCpuSimulator>(
+        static_cast<ShardedCpuSimulator*>(engine.release()));
+}
+
+}  // namespace pedsim::backend

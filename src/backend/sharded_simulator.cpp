@@ -1,0 +1,254 @@
+#include "backend/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "simd/row_ops.hpp"
+
+namespace pedsim::backend {
+
+using core::Move;
+
+ShardedCpuSimulator::ShardedCpuSimulator(const core::SimConfig& config,
+                                         int bands)
+    : Simulator(config) {
+    // Every stage read stays within `halo_` rows of the band: the mask
+    // sweeps and neighbour gathers probe one row out, and the scanning
+    // look-ahead's congestion ray reaches a candidate (±1) plus
+    // range - 1 further cells.
+    halo_ = std::max(1, config_.scan.range);
+    const int rows = env_.rows();
+    const int stride = env_.stride();
+    int count = bands > 0 ? bands : config_.exec.effective_threads();
+    count = std::clamp(count, 1, rows);
+    const auto slices = exec::partition(0, rows, count);
+    bands_.reserve(slices.size());
+    for (const auto& sl : slices) {
+        Band band;
+        band.begin = static_cast<int>(sl.begin);
+        band.end = static_cast<int>(sl.end);
+        band.win_begin = band.begin - halo_;
+        band.win_end = band.end + halo_;
+        const auto win_rows =
+            static_cast<std::size_t>(band.win_end - band.win_begin);
+        // Sentinel-fill the whole window: rows outside the grid keep this
+        // image forever — they ARE the padded kWallOcc halo rows, serving
+        // as the outermost exchange buffers — and grid rows are
+        // overwritten row-for-row by the first exchange.
+        band.occ.assign(win_rows * static_cast<std::size_t>(stride),
+                        grid::kWallOcc);
+        band.idx.assign(win_rows * static_cast<std::size_t>(stride), 0);
+        // Global (r, c) addressing into the window: logical (0, 0) lives
+        // at storage row -win_begin, byte column 1 (past the sentinel).
+        const std::ptrdiff_t origin =
+            static_cast<std::ptrdiff_t>(-band.win_begin) * stride + 1;
+        band.empty = core::EnvEmpty(band.occ.data(), origin, stride);
+        band.index = core::EnvIndex(band.idx.data(), origin, stride);
+        // Movement needs 6 mask planes; initial-calc reuses the first.
+        band.mask.resize(static_cast<std::size_t>(env_.bit_words()) * 6);
+        bands_.push_back(std::move(band));
+    }
+    // Everything is dirty until the first exchange (which also picks up
+    // any step-0 door events fired before the first stage runs).
+    dirty_.assign(static_cast<std::size_t>(rows), 1);
+}
+
+void ShardedCpuSimulator::refresh_row(Band& band, int gr) {
+    const auto stride = static_cast<std::size_t>(env_.stride());
+    const auto dst = static_cast<std::size_t>(gr - band.win_begin) * stride;
+    std::memcpy(band.occ.data() + dst, env_.occ_row_padded(gr), stride);
+    std::memcpy(band.idx.data() + dst,
+                env_.index_raw().data() + env_.padded(gr, -1),
+                stride * sizeof(std::int32_t));
+}
+
+void ShardedCpuSimulator::exchange_halos() {
+    // Host thread, ascending band order, full padded-row images: the seam
+    // rows land in the owning band's interior and the neighbours' halos
+    // from the same canonical bytes, so there is no resolution ambiguity
+    // to order — the contract docs/PARALLELISM.md states.
+    std::uint64_t refreshed = 0;
+    for (auto& band : bands_) {
+        const int lo = std::max(band.win_begin, 0);
+        const int hi = std::min(band.win_end, env_.rows());
+        for (int gr = lo; gr < hi; ++gr) {
+            if (dirty_[static_cast<std::size_t>(gr)] != 0) {
+                refresh_row(band, gr);
+                ++refreshed;
+            }
+        }
+    }
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    rows_exchanged_ += refreshed;
+    obs::MetricsRegistry::add("shard.halo_rows_exchanged", refreshed);
+}
+
+void ShardedCpuSimulator::on_cells_changed(int row0, int row1) {
+    const int lo = std::max(row0, 0);
+    const int hi = std::min(row1, env_.rows() - 1);
+    for (int r = lo; r <= hi; ++r) dirty_[static_cast<std::size_t>(r)] = 1;
+}
+
+void ShardedCpuSimulator::stage_reset() {
+    // The exchange runs here — after the step boundary's door events and
+    // before any stage reads a band plane.
+    exchange_halos();
+    scan_.reset();
+    props_.reset_futures();
+}
+
+void ShardedCpuSimulator::initial_calc_band(Band& band) {
+    // CpuSimulator::initial_calc_rows with every occupancy/index read
+    // routed through the band's replica window.
+    const int nwords = env_.bit_words();
+    const int stride = env_.stride();
+    std::uint64_t* const agents = band.mask.data();
+    for (int r = band.begin; r < band.end; ++r) {
+        const std::uint8_t* const row =
+            band.occ.data() +
+            static_cast<std::size_t>(r - band.win_begin) *
+                static_cast<std::size_t>(stride);
+        simd::agent_bits(row, stride, grid::kWallOcc, agents);
+        simd::for_each_set_bit(agents, nwords, [&](int p) {
+            const int c = p - 1;  // padded byte position -> logical column
+            const std::int32_t i = band.index.at(r, c);
+            const auto idx = static_cast<std::size_t>(i);
+            const grid::Group g = props_.group_of(i);
+
+            const auto fwd = grid::kNeighborOffsets[static_cast<std::size_t>(
+                grid::forward_neighbor(g))];
+            const bool front_empty = band.empty(r + fwd.dr, c + fwd.dc);
+            props_.front_blocked[idx] = front_empty ? 0 : 1;
+
+            const bool panicked = panic_applies(r, c);
+            props_.panicked[idx] = panicked ? 1 : 0;
+            if (!panicked && config_.forward_priority && front_empty &&
+                !waypoint_pending(i)) {
+                return;
+            }
+
+            scan_.count(i) = static_cast<std::int8_t>(
+                fill_scan_row(i, r, c, g, band.empty));
+        });
+    }
+}
+
+void ShardedCpuSimulator::stage_initial_calc() {
+    const int par = config_.exec.effective_threads();
+    if (par <= 1) {
+        for (auto& band : bands_) initial_calc_band(band);
+        return;
+    }
+    exec::ThreadPool::shared().run(
+        static_cast<int>(bands_.size()), par, [this](int b) {
+            initial_calc_band(bands_[static_cast<std::size_t>(b)]);
+        });
+}
+
+void ShardedCpuSimulator::stage_tour_construction() {
+    // Agent-table decomposition into as many contiguous ranges as bands.
+    // decide_future reads only state frozen for the stage (scan rows,
+    // props, the read-only canonical environment), so ranges are disjoint.
+    const auto slices =
+        exec::partition(1, static_cast<std::int64_t>(props_.rows()),
+                        static_cast<int>(bands_.size()));
+    const auto body = [this](const exec::Slice& sl) {
+        for (std::int64_t i = sl.begin; i < sl.end; ++i) {
+            if (props_.active[static_cast<std::size_t>(i)] == 0) continue;
+            decide_future(static_cast<std::int32_t>(i));
+        }
+    };
+    const int par = config_.exec.effective_threads();
+    if (par <= 1 || slices.size() <= 1) {
+        for (const auto& sl : slices) body(sl);
+        return;
+    }
+    exec::ThreadPool::shared().run(
+        static_cast<int>(slices.size()), par,
+        [&](int s) { body(slices[static_cast<std::size_t>(s)]); });
+}
+
+void ShardedCpuSimulator::movement_band(Band& band) {
+    // CpuSimulator::movement_rows over the band window: the rolling
+    // 3-row agent masks start at begin - 1 and end at end — halo rows
+    // refreshed by this step's exchange, so cross-seam proposers gather
+    // exactly like interior ones. Each empty cell is owned by exactly one
+    // band, so no move is emitted twice.
+    band.moves.clear();
+    const int nwords = env_.bit_words();
+    const int stride = env_.stride();
+    std::uint64_t* const buf = band.mask.data();
+    std::uint64_t* agent[3] = {buf, buf + nwords, buf + 2 * nwords};
+    std::uint64_t* const empty_m = buf + 3 * nwords;
+    std::uint64_t* const uni = buf + 4 * nwords;
+    std::uint64_t* const cand = buf + 5 * nwords;
+    const auto occ_padded = [&](int gr) {
+        return band.occ.data() +
+               static_cast<std::size_t>(gr - band.win_begin) *
+                   static_cast<std::size_t>(stride);
+    };
+
+    simd::agent_bits(occ_padded(band.begin - 1), stride, grid::kWallOcc,
+                     agent[0]);
+    simd::agent_bits(occ_padded(band.begin), stride, grid::kWallOcc,
+                     agent[1]);
+
+    std::int32_t proposers[grid::kNeighborCount];
+    for (int r = band.begin; r < band.end; ++r) {
+        simd::agent_bits(occ_padded(r + 1), stride, grid::kWallOcc, agent[2]);
+        for (int w = 0; w < nwords; ++w) {
+            uni[w] = agent[0][w] | agent[1][w] | agent[2][w];
+        }
+        simd::dilate1(uni, cand, nwords);
+        simd::empty_bits(occ_padded(r), stride, empty_m);
+        for (int w = 0; w < nwords; ++w) cand[w] &= empty_m[w];
+
+        simd::for_each_set_bit(cand, nwords, [&](int p) {
+            const int c = p - 1;
+            const int n = gather_proposers(band.index,
+                                           props_.future_row.data(),
+                                           props_.future_col.data(), r, c,
+                                           proposers);
+            if (n == 0) return;
+            // GLOBAL cell key: the stream is the same one the monolithic
+            // engine draws for this cell, whatever band owns it.
+            rng::Stream stream(config_.seed, rng::Stage::kMovement,
+                               static_cast<std::uint64_t>(env_.flat(r, c)),
+                               step_);
+            const int w = core::select_winner(stream, n);
+            band.moves.push_back({proposers[w], r, c});
+        });
+
+        std::uint64_t* const oldest = agent[0];
+        agent[0] = agent[1];
+        agent[1] = agent[2];
+        agent[2] = oldest;
+    }
+}
+
+void ShardedCpuSimulator::stage_movement(std::vector<Move>& out_moves) {
+    const int par = config_.exec.effective_threads();
+    if (par <= 1) {
+        for (auto& band : bands_) movement_band(band);
+    } else {
+        exec::ThreadPool::shared().run(
+            static_cast<int>(bands_.size()), par, [this](int b) {
+                movement_band(bands_[static_cast<std::size_t>(b)]);
+            });
+    }
+    // Merge in ascending band order — the serial row-major move order —
+    // and mark the rows finish_step is about to mutate (each move clears
+    // its source cell and fills its target) for the next exchange.
+    for (const auto& band : bands_) {
+        for (const auto& m : band.moves) {
+            dirty_[static_cast<std::size_t>(
+                props_.row[static_cast<std::size_t>(m.agent)])] = 1;
+            dirty_[static_cast<std::size_t>(m.to_row)] = 1;
+            out_moves.push_back(m);
+        }
+    }
+}
+
+}  // namespace pedsim::backend

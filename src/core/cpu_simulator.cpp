@@ -156,8 +156,4 @@ void CpuSimulator::stage_movement(std::vector<Move>& out_moves) {
     }
 }
 
-std::unique_ptr<Simulator> make_cpu_simulator(const SimConfig& config) {
-    return std::make_unique<CpuSimulator>(config);
-}
-
 }  // namespace pedsim::core

@@ -424,9 +424,4 @@ void GpuSimulator::stage_movement(std::vector<Move>& out_moves) {
     }
 }
 
-std::unique_ptr<Simulator> make_gpu_simulator(const SimConfig& config,
-                                              GpuOptions options) {
-    return std::make_unique<GpuSimulator>(config, std::move(options));
-}
-
 }  // namespace pedsim::core

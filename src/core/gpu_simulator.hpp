@@ -59,7 +59,4 @@ class GpuSimulator final : public Simulator {
     std::vector<std::int32_t> winner_;
 };
 
-std::unique_ptr<Simulator> make_gpu_simulator(const SimConfig& config,
-                                              GpuOptions options = {});
-
 }  // namespace pedsim::core

@@ -19,7 +19,6 @@ int select_aco(rng::Stream& stream, const double* values,
 double ray_congestion(const EnvEmpty& empty, int nr, int nc, int dr, int dc,
                       int range, const grid::GridConfig& g) {
     if (range <= 1 || (dr == 0 && dc == 0)) return 0.0;
-    const grid::Environment& env = *empty.env;
     int occupied = 0;
     if (dr == 0 && nr >= 0 && nr < g.rows) {
         // Horizontal ray: the probed cells are one contiguous slice of row
@@ -31,7 +30,7 @@ double ray_congestion(const EnvEmpty& empty, int nr, int nc, int dr, int dc,
         c0 = std::max(c0, 0);
         c1 = std::min(c1, g.cols - 1);
         if (c0 <= c1) {
-            occupied = simd::count_occupied(env.occ_row(nr) + c0,
+            occupied = simd::count_occupied(empty.row(nr) + c0,
                                             c1 - c0 + 1);
         }
     } else {
@@ -40,7 +39,7 @@ double ray_congestion(const EnvEmpty& empty, int nr, int nc, int dr, int dc,
             const int cc = nc + i * dc;
             const bool in_grid =
                 rr >= 0 && rr < g.rows && cc >= 0 && cc < g.cols;
-            occupied += (in_grid && !env.walkable(rr, cc));
+            occupied += (in_grid && !empty(rr, cc));
         }
     }
     return static_cast<double>(occupied) / static_cast<double>(range - 1);
@@ -80,21 +79,27 @@ int build_candidates_lem_geo(const EnvEmpty& empty, const double* geo,
     return n;
 }
 
-int gather_proposers(const grid::Environment& env,
-                     const std::int32_t* future_row,
+int gather_proposers(const EnvIndex& view, const std::int32_t* future_row,
                      const std::int32_t* future_col, int r, int c,
                      std::int32_t* out) {
     int n = 0;
     for (const auto off : grid::kNeighborOffsets) {
         // Halo read: the sentinel frame carries index 0, so off-grid
         // neighbours fall out of the idx > 0 test with no bounds branch.
-        const std::int32_t idx = env.index_halo(r + off.dr, c + off.dc);
+        const std::int32_t idx = view.at(r + off.dr, c + off.dc);
         if (idx <= 0) continue;
         if (future_row[idx] == r && future_col[idx] == c) {
             out[n++] = idx;
         }
     }
     return n;
+}
+
+int gather_proposers(const grid::Environment& env,
+                     const std::int32_t* future_row,
+                     const std::int32_t* future_col, int r, int c,
+                     std::int32_t* out) {
+    return gather_proposers(EnvIndex(env), future_row, future_col, r, c, out);
 }
 
 int select_winner(rng::Stream& stream, int count) {

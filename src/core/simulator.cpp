@@ -86,7 +86,11 @@ int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g) {
     // Branch-free emptiness via the padded occupancy frame; the concrete
     // functor type also routes the scan builders' ray_congestion calls to
     // the vectorized overload.
-    const EnvEmpty empty{&env_};
+    return fill_scan_row(i, r, c, g, EnvEmpty(env_));
+}
+
+int Simulator::fill_scan_row(std::int32_t i, int r, int c, grid::Group g,
+                             const EnvEmpty& empty) {
     const auto idx = static_cast<std::size_t>(i);
     if (props_.panicked[idx] != 0) {
         return build_candidates_flee_t(empty, config_.panic, g, r, c,
@@ -277,6 +281,8 @@ void Simulator::apply_door(const DoorEvent& event) {
             }
         }
     }
+    // Replicating backends re-pull these rows before the next stage reads.
+    on_cells_changed(event.row0, event.row1);
 }
 
 StepResult Simulator::step() {

@@ -24,6 +24,8 @@
 
 namespace pedsim::core {
 
+struct EnvEmpty;  // rules.hpp: windowed emptiness view
+
 /// One resolved movement: agent -> empty cell (from stage d's gather).
 struct Move {
     std::int32_t agent;
@@ -150,6 +152,23 @@ class Simulator {
     /// LEM/ACO builders. Both engines call this for extension paths, so
     /// bit-parity holds with every feature enabled. Returns the count.
     int fill_scan_row(std::int32_t i, int r, int c, grid::Group g);
+    /// Same fill through an explicit emptiness window: backends that read
+    /// occupancy from replicated storage (the sharded engine's band
+    /// planes) pass their own view; the window's bytes equal the
+    /// environment's for every probed cell, so results are bit-identical.
+    int fill_scan_row(std::int32_t i, int r, int c, grid::Group g,
+                      const EnvEmpty& empty);
+
+    /// Environment-mutation hook: called on the host thread whenever rows
+    /// [row0, row1] of the occupancy/index planes change outside the move
+    /// epilogue (today: door events firing at the step boundary). Backends
+    /// keeping replicated views of those planes override it to mark the
+    /// rows for their next exchange; the default engine state is
+    /// unreplicated, so the base hook is a no-op.
+    virtual void on_cells_changed(int row0, int row1) {
+        (void)row0;
+        (void)row1;
+    }
 
     /// True when agent i flees this step (panic active and in radius).
     [[nodiscard]] bool panic_applies(int r, int c) const {
@@ -226,8 +245,5 @@ class Simulator {
     std::size_t next_door_ = 0;
     std::size_t door_retired_ = 0;
 };
-
-/// Factory: the paper's sequential CPU comparator.
-std::unique_ptr<Simulator> make_cpu_simulator(const SimConfig& config);
 
 }  // namespace pedsim::core

@@ -3,8 +3,6 @@
 #include <cinttypes>
 #include <cstdio>
 
-#include "core/cpu_simulator.hpp"
-#include "core/gpu_simulator.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/table.hpp"
 #include "obs/clock.hpp"
@@ -13,8 +11,10 @@
 
 namespace pedsim::scenario {
 
-const char* engine_name(EngineKind e) {
-    return e == EngineKind::kCpu ? "cpu" : "gpu-simt";
+const char* engine_name(EngineKind e) { return backend::device_name(e); }
+
+std::string engine_label(EngineKind e, int bands) {
+    return backend::engine_label(e, bands);
 }
 
 namespace {
@@ -49,15 +49,14 @@ std::uint64_t repeat_seed(std::uint64_t base, int rep) {
     return rng::splitmix64(base + static_cast<std::uint64_t>(rep));
 }
 
-std::unique_ptr<core::Simulator> make_engine(EngineKind e,
+std::unique_ptr<core::Simulator> make_engine(const EngineSelect& e,
                                              const core::SimConfig& cfg) {
-    return e == EngineKind::kCpu ? core::make_cpu_simulator(cfg)
-                                 : core::make_gpu_simulator(cfg);
+    return backend::make_engine(e, cfg);
 }
 
 ScenarioRunner::ScenarioRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
 
-RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
+RunRecord ScenarioRunner::run_one(const Scenario& s, EngineSelect engine,
                                   core::Model model, std::uint64_t seed,
                                   int steps) const {
     // Anything thrown below (setup validation, engine construction, the
@@ -69,12 +68,19 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
         cfg.model = model;
         cfg.seed = seed;
         if (opts_.engine_threads > 0) cfg.exec.threads = opts_.engine_threads;
+        // Pin the resolved band count before construction so the record's
+        // label is machine-independent for explicit selections and
+        // self-describing for thread-derived ones.
+        if (engine.type == EngineKind::kShardedCpu) {
+            engine.bands = backend::resolve_bands(cfg, engine.bands);
+        }
         const obs::Stopwatch setup_watch;
-        const auto sim = make_engine(engine, cfg);
+        const auto sim = scenario::make_engine(engine, cfg);
         const double setup_seconds = setup_watch.seconds();
         RunRecord rec;
         rec.scenario = s.name;
-        rec.engine = engine;
+        rec.engine = engine.type;
+        rec.bands = engine.bands;
         rec.model = model;
         rec.seed = seed;
         rec.steps = steps;
@@ -92,7 +98,8 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineKind engine,
         return rec;
     } catch (const std::exception& e) {
         throw std::runtime_error(
-            "scenario '" + s.name + "' (" + engine_name(engine) + ", " +
+            "scenario '" + s.name + "' (" +
+            scenario::engine_label(engine.type, engine.bands) + ", " +
             (model == core::Model::kLem ? "lem" : "aco") + ", seed " +
             std::to_string(seed) + "): " + e.what());
     }
@@ -105,7 +112,7 @@ std::vector<RunRecord> ScenarioRunner::run(
     // the serial nesting order at any thread count.
     struct JobSpec {
         const Scenario* scenario;
-        EngineKind engine;
+        EngineSelect engine;
         core::Model model;
         std::uint64_t seed;
         int steps;
@@ -164,7 +171,7 @@ std::string ScenarioRunner::summary_table(
                                ? r.result.steps_run / r.result.wall_seconds
                                : 0.0;
         table.add_row(
-            {r.scenario, engine_name(r.engine),
+            {r.scenario, scenario::engine_label(r.engine, r.bands),
              r.model == core::Model::kLem ? "lem" : "aco",
              std::to_string(r.seed), std::to_string(r.steps),
              std::to_string(r.door_events), std::to_string(r.cycle_events),

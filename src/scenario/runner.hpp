@@ -9,20 +9,27 @@
 #include <string>
 #include <vector>
 
+#include "backend/device.hpp"
 #include "core/simulator.hpp"
 #include "scenario/scenario.hpp"
 
 namespace pedsim::scenario {
 
-enum class EngineKind {
-    kCpu,      ///< the paper's sequential reference
-    kGpuSimt,  ///< the tiled SIMT engine on the device simulator
-};
+/// Engine selection is the backend layer's: the runner adds batch
+/// orchestration on top of backend::create_device(), nothing engine-shaped
+/// of its own. The aliases keep the historical scenario:: spellings alive
+/// for tests and harnesses.
+using EngineKind = backend::DeviceType;
+using EngineSelect = backend::EngineSelect;
 
+/// Registry name of a device type ("cpu", "gpu-simt", "sharded-cpu").
 const char* engine_name(EngineKind e);
+/// Display/corpus label of a run's engine ("sharded-cpu:4" carries the
+/// resolved band count; other devices are just the registry name).
+std::string engine_label(EngineKind e, int bands);
 
 struct RunnerOptions {
-    std::vector<EngineKind> engines{EngineKind::kCpu, EngineKind::kGpuSimt};
+    std::vector<EngineSelect> engines{EngineKind::kCpu, EngineKind::kSimt};
     /// Models to force per scenario; empty = each scenario's own model.
     std::vector<core::Model> models;
     /// Step budget override; 0 = each scenario's default_steps.
@@ -45,6 +52,10 @@ struct RunnerOptions {
 struct RunRecord {
     std::string scenario;
     EngineKind engine = EngineKind::kCpu;
+    /// Resolved row-band count of a sharded run (0 for other engines) —
+    /// carried in the engine label, not a separate CSV column, so bench
+    /// schemas are unchanged.
+    int bands = 0;
     core::Model model = core::Model::kLem;
     std::uint64_t seed = 0;
     int steps = 0;
@@ -82,8 +93,9 @@ std::uint64_t position_fingerprint(const core::Simulator& sim);
 /// the base seed itself so single runs reproduce the scenario exactly.
 std::uint64_t repeat_seed(std::uint64_t base, int rep);
 
-/// Engine factory shared by the runner, benches and tests.
-std::unique_ptr<core::Simulator> make_engine(EngineKind e,
+/// Engine factory shared by the runner, benches and tests — a thin
+/// delegate to backend::create_device().
+std::unique_ptr<core::Simulator> make_engine(const EngineSelect& e,
                                              const core::SimConfig& cfg);
 
 class ScenarioRunner {
@@ -91,7 +103,7 @@ class ScenarioRunner {
     explicit ScenarioRunner(RunnerOptions opts = {});
 
     /// One run of one combination.
-    [[nodiscard]] RunRecord run_one(const Scenario& s, EngineKind engine,
+    [[nodiscard]] RunRecord run_one(const Scenario& s, EngineSelect engine,
                                     core::Model model, std::uint64_t seed,
                                     int steps) const;
 

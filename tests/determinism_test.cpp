@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "scenario/registry.hpp"
@@ -89,7 +90,7 @@ TEST(Determinism, StepResultsIdenticalAcrossThreadCountsEveryScenario) {
     for (const auto& s : scenario::all()) {
         const int steps = budget_for(s);
         for (const auto engine :
-             {scenario::EngineKind::kCpu, scenario::EngineKind::kGpuSimt}) {
+             {scenario::EngineKind::kCpu, scenario::EngineKind::kSimt}) {
             const Trace base = trace_run(engine, s.sim, 1, steps);
             ASSERT_EQ(base.steps.size(), static_cast<std::size_t>(steps));
             for (const int threads : counts) {
@@ -117,9 +118,9 @@ TEST(Determinism, GpuLaunchLogIdenticalAcrossThreadCounts) {
     auto run_log = [&](int threads) {
         core::SimConfig cfg = s.sim;
         cfg.exec.threads = threads;
-        core::GpuSimulator sim(cfg);
-        sim.run(30);
-        return sim.launch_log().records();
+        const auto sim = backend::make_simt(cfg);
+        sim->run(30);
+        return sim->launch_log().records();
     };
     const auto base = run_log(1);
     for (const int threads : thread_counts()) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/door_schedule.hpp"
 #include "io/scenario_file.hpp"
@@ -233,7 +234,7 @@ TEST(DynamicEvents, MoverTranslatesTheWallBlock) {
         }
     }
     cfg.movers.push_back({2, 3, 0, 1, 7, 2, 8, 3, 4});
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     EXPECT_EQ(sim->environment().wall_count(), 4u);
     EXPECT_TRUE(sim->environment().is_wall(7, 2));
 
@@ -304,7 +305,7 @@ TEST(Anticipation, HorizonZeroAndOutOfHorizonMatchTheUnblendedPath) {
     base.doors.push_back({500, 7, 4, 8, 7, DoorAction::kOpen});
 
     auto trace = [](const SimConfig& cfg) {
-        const auto sim = make_cpu_simulator(cfg);
+        const auto sim = backend::make_cpu(cfg);
         std::vector<StepResult> steps;
         sim->run(40, [&steps](const StepResult& sr) {
             steps.push_back(sr);
@@ -329,8 +330,8 @@ TEST(Anticipation, InsideTheHorizonBlendingChangesRouting) {
     ASSERT_EQ(s.sim.anticipate.horizon, 40);
     SimConfig stripped = s.sim;
     stripped.anticipate.horizon = 0;
-    const auto with = make_cpu_simulator(s.sim);
-    const auto without = make_cpu_simulator(stripped);
+    const auto with = backend::make_cpu(s.sim);
+    const auto without = backend::make_cpu(stripped);
     with->run(59);  // up to (not past) the door-open at step 60
     without->run(59);
     EXPECT_NE(scenario::position_fingerprint(*with),
@@ -343,7 +344,7 @@ TEST(DoorEvents, ToggleEnvironmentOccupancyAtStepBoundaries) {
     SimConfig cfg = walled_config();
     cfg.doors.push_back({2, 7, 4, 8, 11, DoorAction::kOpen});
     cfg.doors.push_back({5, 7, 4, 8, 11, DoorAction::kClose});
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     EXPECT_EQ(sim->environment().wall_count(), 32u);
 
     sim->run(2);  // steps 0 and 1: event at step 2 has not fired yet
@@ -368,7 +369,7 @@ TEST(DoorEvents, ClosingDoorRetiresOccupants) {
     // Fill the 2x2 region completely, then close a door on it at step 0.
     cfg.layout.spawns.push_back({grid::Group::kTop, 2, 2, 3, 3, 4});
     cfg.doors.push_back({0, 2, 2, 3, 3, DoorAction::kClose});
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     EXPECT_EQ(sim->environment().population(), 4u);
 
     sim->run(1);
@@ -395,7 +396,7 @@ TEST(DoorScenarios, RegistryShipsTheDoorTrio) {
 
 TEST(DoorScenarios, TimedExitOnlyDrainsAfterTheDoorOpens) {
     const auto s = scenario::get("timed_exit");
-    const auto sim = make_cpu_simulator(s.sim);
+    const auto sim = backend::make_cpu(s.sim);
     sim->run(30);  // door opens at the start of step 30
     EXPECT_EQ(sim->crossed_total(grid::Group::kTop) +
                   sim->crossed_total(grid::Group::kBottom),
@@ -408,7 +409,7 @@ TEST(DoorScenarios, TimedExitOnlyDrainsAfterTheDoorOpens) {
 
 TEST(DoorScenarios, ClosingCorridorConservesAgents) {
     const auto s = scenario::get("closing_corridor");
-    const auto sim = make_cpu_simulator(s.sim);
+    const auto sim = backend::make_cpu(s.sim);
     const auto rr = sim->run(s.default_steps);
     // Both close events fired: the 16-wide gap (2 rows deep) is sealed.
     EXPECT_EQ(sim->environment().wall_count(),
@@ -421,7 +422,7 @@ TEST(DoorScenarios, ClosingCorridorConservesAgents) {
 
 TEST(DoorScenarios, PhasedEvacuationDrainsThroughStagedDoors) {
     const auto s = scenario::get("phased_evacuation");
-    const auto sim = make_cpu_simulator(s.sim);
+    const auto sim = backend::make_cpu(s.sim);
     const auto rr = sim->run(s.default_steps);
     EXPECT_GT(rr.crossed_total(), s.sim.total_agents() / 2);
     EXPECT_EQ(sim->environment().population() + rr.crossed_total() +

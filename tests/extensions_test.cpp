@@ -7,6 +7,7 @@
 #include <cmath>
 #include <map>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "core/metrics.hpp"
@@ -64,7 +65,7 @@ TEST(Panic, AgentsFleeTheEpicentre) {
     cfg.panic.radius = 16.0;
     cfg.exit_on_cross = false;
 
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     sim->run(20);  // pre-panic
 
     auto mean_dist_to_epicentre = [&]() {
@@ -98,7 +99,7 @@ TEST(Panic, FlagsOnlyAgentsInRadius) {
     cfg.panic.row = 0;
     cfg.panic.col = 0;
     cfg.panic.radius = 10.0;
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     sim->step();
     const auto& p = sim->properties();
     for (std::size_t i = 1; i < p.rows(); ++i) {
@@ -143,7 +144,7 @@ TEST(Panic, PanickedAcoAgentsDoNotDeposit) {
     cfg.panic.radius = 100.0;  // everyone panics
     cfg.aco.rho = 0.0;         // no evaporation: total tau must stay flat
     cfg.aco.tau0 = 0.5;
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     const double t0 = sim->pheromone()->total(grid::Group::kTop);
     sim->run(10);
     EXPECT_DOUBLE_EQ(sim->pheromone()->total(grid::Group::kTop), t0);
@@ -157,14 +158,14 @@ TEST(Panic, EnginesStayBitIdenticalUnderPanic) {
         cfg.panic.row = 20;
         cfg.panic.col = 40;
         cfg.panic.radius = 18.0;
-        const auto cpu = make_cpu_simulator(cfg);
-        GpuSimulator gpu(cfg);
+        const auto cpu = backend::make_cpu(cfg);
+        const auto gpu = backend::make_simt(cfg);
         for (int s = 0; s < 40; ++s) {
             cpu->step();
-            gpu.step();
+            gpu->step();
         }
-        EXPECT_TRUE(cpu->environment() == gpu.environment());
-        EXPECT_EQ(positions(*cpu), positions(gpu));
+        EXPECT_TRUE(cpu->environment() == gpu->environment());
+        EXPECT_EQ(positions(*cpu), positions(*gpu));
     }
 }
 
@@ -173,7 +174,7 @@ TEST(Panic, EnginesStayBitIdenticalUnderPanic) {
 TEST(Speed, FractionOfAgentsIsSlow) {
     auto cfg = base_config(Model::kLem, 1000);
     cfg.speed.slow_fraction = 0.3;
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     const auto& p = sim->properties();
     std::size_t slow = 0;
     for (std::size_t i = 1; i < p.rows(); ++i) slow += p.speed_class[i];
@@ -184,8 +185,8 @@ TEST(Speed, ZeroFractionMatchesPaperBehaviour) {
     auto with = base_config(Model::kLem, 300);
     auto without = with;
     without.speed.slow_fraction = 0.0;
-    const auto a = make_cpu_simulator(with);
-    const auto b = make_cpu_simulator(without);
+    const auto a = backend::make_cpu(with);
+    const auto b = backend::make_cpu(without);
     for (int s = 0; s < 30; ++s) {
         a->step();
         b->step();
@@ -198,8 +199,8 @@ TEST(Speed, SlowPopulationCrossesLater) {
     auto slow = fast;
     slow.speed.slow_fraction = 1.0;  // everyone at half speed
     slow.speed.slow_period = 2;
-    const auto a = make_cpu_simulator(fast);
-    const auto b = make_cpu_simulator(slow);
+    const auto a = backend::make_cpu(fast);
+    const auto b = backend::make_cpu(slow);
     ThroughputRecorder ra, rb;
     a->run(700, ra.observer());
     b->run(700, rb.observer());
@@ -215,13 +216,13 @@ TEST(Speed, SlowAgentsNeverProposeOffPhase) {
     auto cfg = base_config(Model::kLem, 100, 23);
     cfg.speed.slow_fraction = 1.0;
     cfg.speed.slow_period = 3;
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     // Over any 3 consecutive steps each agent moves at most 1 cell... the
     // aggregate signature: total moves over a window is about a third of
     // the all-fast case.
     auto fast_cfg = cfg;
     fast_cfg.speed.slow_fraction = 0.0;
-    const auto fast = make_cpu_simulator(fast_cfg);
+    const auto fast = backend::make_cpu(fast_cfg);
     const auto rs = sim->run(60);
     const auto rf = fast->run(60);
     EXPECT_LT(rs.total_moves, rf.total_moves / 2);
@@ -231,13 +232,13 @@ TEST(Speed, EnginesStayBitIdenticalWithSpeedClasses) {
     auto cfg = base_config(Model::kAco, 300, 25);
     cfg.speed.slow_fraction = 0.4;
     cfg.speed.slow_period = 3;
-    const auto cpu = make_cpu_simulator(cfg);
-    GpuSimulator gpu(cfg);
+    const auto cpu = backend::make_cpu(cfg);
+    const auto gpu = backend::make_simt(cfg);
     for (int s = 0; s < 40; ++s) {
         cpu->step();
-        gpu.step();
+        gpu->step();
     }
-    EXPECT_TRUE(cpu->environment() == gpu.environment());
+    EXPECT_TRUE(cpu->environment() == gpu->environment());
 }
 
 // --- Scanning range ----------------------------------------------------------------
@@ -320,13 +321,13 @@ TEST(ScanRange, EnginesStayBitIdenticalWithLookAhead) {
         auto cfg = base_config(model, 400, 29);
         cfg.scan.range = 3;
         cfg.scan.congestion_weight = 0.8;
-        const auto cpu = make_cpu_simulator(cfg);
-        GpuSimulator gpu(cfg);
+        const auto cpu = backend::make_cpu(cfg);
+        const auto gpu = backend::make_simt(cfg);
         for (int s = 0; s < 30; ++s) {
             cpu->step();
-            gpu.step();
+            gpu->step();
         }
-        EXPECT_TRUE(cpu->environment() == gpu.environment());
+        EXPECT_TRUE(cpu->environment() == gpu->environment());
     }
 }
 
@@ -339,17 +340,17 @@ TEST(ScanRange, AllExtensionsTogetherKeepInvariantsAndParity) {
     cfg.panic.row = 30;
     cfg.panic.col = 30;
     cfg.panic.radius = 12.0;
-    const auto cpu = make_cpu_simulator(cfg);
-    GpuSimulator gpu(cfg);
+    const auto cpu = backend::make_cpu(cfg);
+    const auto gpu = backend::make_simt(cfg);
     for (int s = 0; s < 40; ++s) {
         cpu->step();
-        gpu.step();
+        gpu->step();
         const auto on_grid = cpu->environment().population();
         const auto crossed = cpu->crossed_total(grid::Group::kTop) +
                              cpu->crossed_total(grid::Group::kBottom);
         ASSERT_EQ(on_grid + crossed, 700u);
     }
-    EXPECT_TRUE(cpu->environment() == gpu.environment());
+    EXPECT_TRUE(cpu->environment() == gpu->environment());
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 // final position fingerprint, this suite pins the full per-step
 // StepResult stream — proposals, moves, conflicts, per-group crossings
 // and waypoint advances for EVERY step — for a small scenario subset on
-// both engines at {1, 4} host threads. A regression that cancels out by
+// every backend (cpu, gpu-simt, sharded-cpu at 2 and 8 bands) at {1, 4}
+// host threads. A regression that cancels out by
 // the end of a run (two compensating RNG changes, a transient stall, a
 // waypoint advanced one step late) is invisible to a final fingerprint
 // but fails here with the exact (scenario, engine, threads, step, field)
@@ -70,7 +71,7 @@ std::string sequence_path(const std::string& scenario_name) {
 }
 
 std::vector<core::StepResult> run_stream(const scenario::Scenario& s,
-                                         scenario::EngineKind engine,
+                                         scenario::EngineSelect engine,
                                          int threads, int steps) {
     core::SimConfig cfg = s.sim;
     cfg.exec.threads = threads;
@@ -84,9 +85,10 @@ std::vector<core::StepResult> run_stream(const scenario::Scenario& s,
     return stream;
 }
 
-/// The engines are bit-identical by contract, so ONE stream per scenario
-/// is the golden artifact; every (engine, threads) combination must
-/// reproduce it exactly. The serial CPU run is the canonical writer.
+/// The engines (cpu, gpu-simt, sharded-cpu at any band count) are
+/// bit-identical by contract, so ONE stream per scenario is the golden
+/// artifact; every (engine, threads) combination must reproduce it
+/// exactly. The serial CPU run is the canonical writer.
 std::vector<core::StepResult> compute_stream(const scenario::Scenario& s) {
     return run_stream(s, scenario::EngineKind::kCpu, 1, sequence_steps(s));
 }
@@ -158,15 +160,19 @@ TEST(GoldenSequence, EveryEngineAndThreadCountReproducesTheCheckedInStream) {
                   static_cast<std::size_t>(sequence_steps(s)))
             << name << ": step-budget formula drifted — regenerate with "
             << "./golden_sequence_test --update-golden";
-        for (const auto engine :
-             {scenario::EngineKind::kCpu, scenario::EngineKind::kGpuSimt}) {
+        for (const auto& engine :
+             {scenario::EngineSelect{scenario::EngineKind::kCpu},
+              scenario::EngineSelect{scenario::EngineKind::kSimt},
+              scenario::EngineSelect{scenario::EngineKind::kShardedCpu, 2},
+              scenario::EngineSelect{scenario::EngineKind::kShardedCpu, 8}}) {
             for (const int threads : kSequenceThreads) {
                 const auto live =
                     run_stream(s, engine, threads,
                                static_cast<int>(golden.size()));
                 const int at = first_divergence(golden, live);
                 EXPECT_EQ(at, -1)
-                    << name << " / " << scenario::engine_name(engine)
+                    << name << " / "
+                    << scenario::engine_label(engine.type, engine.bands)
                     << " @ " << threads << " threads: stream diverges at "
                     << "step " << at << " — if intended, regenerate with "
                     << "./golden_sequence_test --update-golden";

@@ -1,6 +1,8 @@
 // Golden-fingerprint regression corpus: every built-in scenario x engine
-// x {1, 4} host threads, run for a deterministic per-scenario step budget,
-// must reproduce the position fingerprint checked in at
+// x {1, 4} host threads — engines being cpu, gpu-simt, and the sharded
+// row-band backend at 2 and 8 bands — run for a deterministic
+// per-scenario step budget, must reproduce the position fingerprint
+// checked in at
 // tests/golden/fingerprints.csv. Any refactor that silently changes a
 // trajectory — a reordered RNG draw, a perturbed candidate sort, a
 // drifted event expansion — fails here with the exact (scenario, engine,
@@ -38,6 +40,19 @@ namespace {
 
 constexpr int kGoldenThreads[] = {1, 4};
 
+/// Engine axis of the corpus: the two paper engines plus the sharded
+/// backend at a fixed 2- and 8-band partition (band counts pinned so the
+/// rows are machine-independent; the label carries the count).
+const std::vector<scenario::EngineSelect>& golden_engines() {
+    static const std::vector<scenario::EngineSelect> kEngines = {
+        {scenario::EngineKind::kCpu},
+        {scenario::EngineKind::kSimt},
+        {scenario::EngineKind::kShardedCpu, 2},
+        {scenario::EngineKind::kShardedCpu, 8},
+    };
+    return kEngines;
+}
+
 struct GoldenRow {
     std::string scenario;
     std::string engine;
@@ -66,8 +81,7 @@ std::vector<GoldenRow> compute_corpus() {
     std::vector<GoldenRow> rows;
     for (const auto& s : scenario::all()) {
         const int steps = golden_steps(s);
-        for (const auto engine :
-             {scenario::EngineKind::kCpu, scenario::EngineKind::kGpuSimt}) {
+        for (const auto& engine : golden_engines()) {
             for (const int threads : kGoldenThreads) {
                 // Like ScenarioRunner::run_one, attach the run's
                 // coordinates to anything thrown — an anonymous abort of
@@ -77,14 +91,17 @@ std::vector<GoldenRow> compute_corpus() {
                     cfg.exec.threads = threads;
                     const auto sim = scenario::make_engine(engine, cfg);
                     sim->run(steps);
-                    rows.push_back({s.name, scenario::engine_name(engine),
-                                    threads, steps,
-                                    scenario::position_fingerprint(*sim)});
+                    rows.push_back(
+                        {s.name,
+                         scenario::engine_label(engine.type, engine.bands),
+                         threads, steps,
+                         scenario::position_fingerprint(*sim)});
                 } catch (const std::exception& e) {
                     throw std::runtime_error(
                         "golden run '" + s.name + "' (" +
-                        scenario::engine_name(engine) + ", " +
-                        std::to_string(threads) + " threads): " + e.what());
+                        scenario::engine_label(engine.type, engine.bands) +
+                        ", " + std::to_string(threads) +
+                        " threads): " + e.what());
                 }
             }
         }
@@ -147,11 +164,12 @@ TEST(Golden, CorpusCoversEveryScenarioEngineAndThreadCount) {
     std::map<std::string, int> by_scenario;
     for (const auto& r : golden) ++by_scenario[r.scenario];
     for (const auto& name : scenario::names()) {
-        EXPECT_EQ(by_scenario[name], 4)
-            << name << " must have cpu/gpu-simt x {1,4}-thread rows — "
-            << "regenerate with ./golden_test --update-golden";
+        EXPECT_EQ(by_scenario[name], 8)
+            << name << " must have cpu/gpu-simt/sharded-cpu:{2,8} x "
+            << "{1,4}-thread rows — regenerate with ./golden_test "
+            << "--update-golden";
     }
-    EXPECT_EQ(golden.size(), scenario::names().size() * 4u)
+    EXPECT_EQ(golden.size(), scenario::names().size() * 8u)
         << "corpus rows for scenarios no longer in the registry";
 }
 

@@ -429,7 +429,7 @@ TEST(ObsDeterminism, TracingDoesNotPerturbEitherEngine) {
     const std::uint64_t cpu_off =
         fingerprint_of(scenario::EngineKind::kCpu);
     const std::uint64_t gpu_off =
-        fingerprint_of(scenario::EngineKind::kGpuSimt);
+        fingerprint_of(scenario::EngineKind::kSimt);
     // Cross-engine parity must already hold without observability.
     ASSERT_EQ(cpu_off, gpu_off);
 
@@ -439,7 +439,7 @@ TEST(ObsDeterminism, TracingDoesNotPerturbEitherEngine) {
     obs::MetricsRegistry::install(&registry);
     const std::uint64_t cpu_on = fingerprint_of(scenario::EngineKind::kCpu);
     const std::uint64_t gpu_on =
-        fingerprint_of(scenario::EngineKind::kGpuSimt);
+        fingerprint_of(scenario::EngineKind::kSimt);
     obs::Tracer::install(nullptr);
     obs::MetricsRegistry::install(nullptr);
 

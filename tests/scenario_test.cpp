@@ -8,6 +8,7 @@
 #include <map>
 #include <set>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "io/scenario_file.hpp"
@@ -49,7 +50,7 @@ TEST(Registry, PaperCorridorIsTheSeedDefaultConfig) {
 
 TEST(Registry, EveryScenarioConstructsOnTheCpuEngine) {
     for (const auto& s : all()) {
-        const auto sim = core::make_cpu_simulator(s.sim);
+        const auto sim = backend::make_cpu(s.sim);
         EXPECT_EQ(sim->properties().agent_count(), s.sim.total_agents())
             << s.name;
         EXPECT_EQ(sim->environment().wall_count(),
@@ -102,7 +103,7 @@ TEST(ScenarioFile, ParsesMapWithWallsAndGoals) {
     ASSERT_EQ(s.sim.layout.spawns.size(), 1u);
     EXPECT_EQ(s.sim.layout.spawns[0].count, 12u);
     // And it actually runs.
-    const auto sim = core::make_cpu_simulator(s.sim);
+    const auto sim = backend::make_cpu(s.sim);
     sim->run(s.default_steps);
     EXPECT_EQ(sim->environment().wall_count(), 12u);
 }
@@ -285,7 +286,7 @@ TEST(SeedReproduction, PaperCorridorScenarioMatchesDirectConfig) {
                                     s.sim.seed, steps);
 
     core::SimConfig direct;  // untouched seed defaults
-    const auto sim = core::make_cpu_simulator(direct);
+    const auto sim = backend::make_cpu(direct);
     const auto rr = sim->run(steps);
 
     EXPECT_EQ(rec.result.steps_run, rr.steps_run);
@@ -303,13 +304,13 @@ TEST(SeedReproduction, CorridorSmallMatchesDirectConfigOnBothEngines) {
     direct.agents_per_side = 400;
 
     const ScenarioRunner runner;
-    for (const auto engine : {EngineKind::kCpu, EngineKind::kGpuSimt}) {
+    for (const auto engine : {EngineKind::kCpu, EngineKind::kSimt}) {
         const auto rec =
             runner.run_one(s, engine, s.sim.model, s.sim.seed, 120);
-        const auto sim = make_engine(engine, direct);
+        const auto sim = scenario::make_engine(engine, direct);
         sim->run(120);
         EXPECT_EQ(rec.fingerprint, position_fingerprint(*sim))
-            << engine_name(engine);
+            << scenario::engine_name(engine);
     }
 }
 
@@ -317,7 +318,7 @@ TEST(SeedReproduction, CorridorSmallMatchesDirectConfigOnBothEngines) {
 
 TEST(Behaviour, BottleneckStillDrainsThroughTheDoorway) {
     const auto s = get("bottleneck_doorway");
-    const auto sim = core::make_cpu_simulator(s.sim);
+    const auto sim = backend::make_cpu(s.sim);
     const auto rr = sim->run(s.default_steps);
     // Both groups keep crossing despite the wall: the geodesic field
     // routes them through the gap.
@@ -332,7 +333,7 @@ TEST(Behaviour, BottleneckStillDrainsThroughTheDoorway) {
 
 TEST(Behaviour, RoomEvacuationDrainsThroughTheDoor) {
     const auto s = get("room_evacuation");
-    const auto sim = core::make_cpu_simulator(s.sim);
+    const auto sim = backend::make_cpu(s.sim);
     const auto rr = sim->run(s.default_steps);
     // Most of the 320 occupants find the single door.
     EXPECT_GT(rr.crossed_total(), s.sim.total_agents() / 2);
@@ -344,7 +345,7 @@ TEST(Behaviour, WallsAreConservedAcrossLongRuns) {
     for (const auto& name :
          {"pillar_field", "narrowing_corridor", "bottleneck_doorway"}) {
         const auto s = get(name);
-        const auto sim = core::make_cpu_simulator(s.sim);
+        const auto sim = backend::make_cpu(s.sim);
         sim->run(60);
         EXPECT_EQ(sim->environment().wall_count(),
                   s.sim.layout.wall_cells.size())

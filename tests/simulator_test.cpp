@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "backend/device.hpp"
 #include "core/cpu_simulator.hpp"
 #include "core/gpu_simulator.hpp"
 #include "core/metrics.hpp"
@@ -39,27 +40,27 @@ std::map<std::int32_t, std::pair<int, int>> agent_positions(
 
 TEST(SimulatorInit, PopulationMatchesConfig) {
     const auto cfg = small_config(Model::kLem);
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     EXPECT_EQ(sim->environment().population(), 600u);
     EXPECT_EQ(sim->properties().agent_count(), 600u);
     EXPECT_EQ(sim->properties().active_count(), 600u);
 }
 
 TEST(SimulatorInit, LemHasNoPheromone) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem));
+    const auto sim = backend::make_cpu(small_config(Model::kLem));
     EXPECT_EQ(sim->pheromone(), nullptr);
 }
 
 TEST(SimulatorInit, AcoHasPheromoneAtTau0) {
     auto cfg = small_config(Model::kAco);
     cfg.aco.tau0 = 0.25;
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     ASSERT_NE(sim->pheromone(), nullptr);
     EXPECT_DOUBLE_EQ(sim->pheromone()->at(grid::Group::kTop, 30, 30), 0.25);
 }
 
 TEST(SimulatorInit, EnvironmentAndPropertiesAgree) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem));
+    const auto sim = backend::make_cpu(small_config(Model::kLem));
     const auto& env = sim->environment();
     const auto& props = sim->properties();
     for (std::size_t i = 1; i < props.rows(); ++i) {
@@ -78,7 +79,7 @@ class InvariantTest : public ::testing::TestWithParam<Model> {};
 TEST_P(InvariantTest, AgentsAreConservedAcrossSteps) {
     auto cfg = small_config(GetParam(), 400);
     cfg.exit_on_cross = false;  // nobody leaves: strict conservation
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     for (int s = 0; s < 60; ++s) {
         sim->step();
         EXPECT_EQ(sim->environment().population(), 800u);
@@ -88,7 +89,7 @@ TEST_P(InvariantTest, AgentsAreConservedAcrossSteps) {
 
 TEST_P(InvariantTest, PopulationPlusCrossedIsConstantWithExits) {
     const auto cfg = small_config(GetParam(), 400);
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     for (int s = 0; s < 150; ++s) {
         sim->step();
         const auto on_grid = sim->environment().population();
@@ -99,7 +100,7 @@ TEST_P(InvariantTest, PopulationPlusCrossedIsConstantWithExits) {
 }
 
 TEST_P(InvariantTest, IndexMatrixStaysConsistent) {
-    const auto sim = make_cpu_simulator(small_config(GetParam(), 350));
+    const auto sim = backend::make_cpu(small_config(GetParam(), 350));
     sim->run(80);
     const auto& env = sim->environment();
     const auto& props = sim->properties();
@@ -121,7 +122,7 @@ TEST_P(InvariantTest, IndexMatrixStaysConsistent) {
 }
 
 TEST_P(InvariantTest, NoAgentMovesMoreThanOneCellPerStep) {
-    const auto sim = make_cpu_simulator(small_config(GetParam(), 400));
+    const auto sim = backend::make_cpu(small_config(GetParam(), 400));
     auto before = agent_positions(*sim);
     for (int s = 0; s < 40; ++s) {
         sim->step();
@@ -137,7 +138,7 @@ TEST_P(InvariantTest, NoAgentMovesMoreThanOneCellPerStep) {
 }
 
 TEST_P(InvariantTest, TourLengthsAreMonotone) {
-    const auto sim = make_cpu_simulator(small_config(GetParam(), 300));
+    const auto sim = backend::make_cpu(small_config(GetParam(), 300));
     std::vector<double> prev(sim->properties().tour_length);
     for (int s = 0; s < 30; ++s) {
         sim->step();
@@ -161,8 +162,8 @@ class DeterminismTest : public ::testing::TestWithParam<Model> {};
 
 TEST_P(DeterminismTest, SameSeedSameTrajectory) {
     const auto cfg = small_config(GetParam());
-    const auto a = make_cpu_simulator(cfg);
-    const auto b = make_cpu_simulator(cfg);
+    const auto a = backend::make_cpu(cfg);
+    const auto b = backend::make_cpu(cfg);
     for (int s = 0; s < 50; ++s) {
         a->step();
         b->step();
@@ -172,8 +173,8 @@ TEST_P(DeterminismTest, SameSeedSameTrajectory) {
 }
 
 TEST_P(DeterminismTest, DifferentSeedDifferentTrajectory) {
-    const auto a = make_cpu_simulator(small_config(GetParam(), 300, 1));
-    const auto b = make_cpu_simulator(small_config(GetParam(), 300, 2));
+    const auto a = backend::make_cpu(small_config(GetParam(), 300, 1));
+    const auto b = backend::make_cpu(small_config(GetParam(), 300, 2));
     for (int s = 0; s < 30; ++s) {
         a->step();
         b->step();
@@ -200,22 +201,22 @@ class ParityTest : public ::testing::TestWithParam<ParityCase> {};
 TEST_P(ParityTest, EnginesAreBitIdentical) {
     const auto p = GetParam();
     const auto cfg = small_config(p.model, p.agents, p.seed);
-    const auto cpu = make_cpu_simulator(cfg);
-    GpuSimulator gpu(cfg);
+    const auto cpu = backend::make_cpu(cfg);
+    const auto gpu = backend::make_simt(cfg);
     for (int s = 0; s < 60; ++s) {
         const auto rc = cpu->step();
-        const auto rg = gpu.step();
+        const auto rg = gpu->step();
         ASSERT_EQ(rc.moves, rg.moves) << "step " << s;
         ASSERT_EQ(rc.proposals, rg.proposals) << "step " << s;
         ASSERT_EQ(rc.crossed_top, rg.crossed_top) << "step " << s;
         ASSERT_EQ(rc.crossed_bottom, rg.crossed_bottom) << "step " << s;
     }
-    EXPECT_TRUE(cpu->environment() == gpu.environment());
-    EXPECT_EQ(agent_positions(*cpu), agent_positions(gpu));
+    EXPECT_TRUE(cpu->environment() == gpu->environment());
+    EXPECT_EQ(agent_positions(*cpu), agent_positions(*gpu));
     if (cfg.model == Model::kAco) {
         // Pheromone fields must match exactly, too.
         const auto& pc = *cpu->pheromone();
-        const auto& pg = *gpu.pheromone();
+        const auto& pg = *gpu->pheromone();
         for (const auto g : {grid::Group::kTop, grid::Group::kBottom}) {
             EXPECT_EQ(pc.raw(g), pg.raw(g));
         }
@@ -242,19 +243,19 @@ TEST(ParityNaiveHalo, TileLoadStrategyDoesNotChangeResults) {
     const auto cfg = small_config(Model::kAco, 400, 9);
     GpuOptions remapped, naive;
     naive.remapped_halo_load = false;
-    GpuSimulator a(cfg, remapped);
-    GpuSimulator b(cfg, naive);
+    const auto a = backend::make_simt(cfg, remapped);
+    const auto b = backend::make_simt(cfg, naive);
     for (int s = 0; s < 40; ++s) {
-        a.step();
-        b.step();
+        a->step();
+        b->step();
     }
-    EXPECT_TRUE(a.environment() == b.environment());
+    EXPECT_TRUE(a->environment() == b->environment());
 }
 
 // --- Crossing / progress semantics ------------------------------------------------------
 
 TEST(Crossing, AgentsEventuallyCrossInSparseScenario) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem, 50));
+    const auto sim = backend::make_cpu(small_config(Model::kLem, 50));
     const auto rr = sim->run(500);
     EXPECT_GT(rr.crossed_total(), 80u);  // nearly all of 100
 }
@@ -262,7 +263,7 @@ TEST(Crossing, AgentsEventuallyCrossInSparseScenario) {
 TEST(Crossing, CrossedAgentsLeaveTheGrid) {
     auto cfg = small_config(Model::kLem, 50);
     cfg.exit_on_cross = true;
-    const auto sim = make_cpu_simulator(cfg);
+    const auto sim = backend::make_cpu(cfg);
     sim->run(500);
     EXPECT_EQ(sim->environment().population() +
                   sim->crossed_total(grid::Group::kTop) +
@@ -272,7 +273,7 @@ TEST(Crossing, CrossedAgentsLeaveTheGrid) {
 }
 
 TEST(Crossing, GroupsMoveTowardTheirTargets) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem, 300));
+    const auto sim = backend::make_cpu(small_config(Model::kLem, 300));
     const auto& df = sim->distance_field();
     const double top0 = mean_progress(sim->properties(), df,
                                       grid::Group::kTop, 64);
@@ -292,8 +293,8 @@ TEST(Crossing, ForwardPriorityWalksIsolatedAgentsStraight) {
     auto with = small_config(Model::kLem, 1, 7);
     auto without = with;
     without.forward_priority = false;
-    const auto a = make_cpu_simulator(with);
-    const auto b = make_cpu_simulator(without);
+    const auto a = backend::make_cpu(with);
+    const auto b = backend::make_cpu(without);
     ThroughputRecorder ra, rb;
     a->run(600, ra.observer());
     b->run(600, rb.observer());
@@ -310,7 +311,7 @@ TEST(Crossing, ForwardPriorityWalksIsolatedAgentsStraight) {
 // --- Observers & metrics ------------------------------------------------------------------
 
 TEST(RunApi, ObserverCanStopEarly) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem));
+    const auto sim = backend::make_cpu(small_config(Model::kLem));
     int seen = 0;
     const auto rr = sim->run(100, [&](const StepResult&) {
         return ++seen < 10;
@@ -320,7 +321,7 @@ TEST(RunApi, ObserverCanStopEarly) {
 }
 
 TEST(RunApi, StepResultAccounting) {
-    const auto sim = make_cpu_simulator(small_config(Model::kAco, 400));
+    const auto sim = backend::make_cpu(small_config(Model::kAco, 400));
     for (int s = 0; s < 20; ++s) {
         const auto sr = sim->step();
         EXPECT_GE(sr.proposals, sr.moves);
@@ -329,7 +330,7 @@ TEST(RunApi, StepResultAccounting) {
 }
 
 TEST(Metrics, ThroughputRecorderAccumulates) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem, 80));
+    const auto sim = backend::make_cpu(small_config(Model::kLem, 80));
     ThroughputRecorder rec;
     const auto rr = sim->run(400, rec.observer());
     EXPECT_EQ(rec.total(), rr.crossed_total());
@@ -365,7 +366,7 @@ TEST(Metrics, GridlockDetectorResetsOnMovement) {
 }
 
 TEST(Metrics, RowOccupancyCountsGroups) {
-    const auto sim = make_cpu_simulator(small_config(Model::kLem, 300));
+    const auto sim = backend::make_cpu(small_config(Model::kLem, 300));
     const auto hist = row_occupancy(sim->environment(), grid::Group::kTop);
     int total = 0;
     for (const int h : hist) total += h;
@@ -375,9 +376,9 @@ TEST(Metrics, RowOccupancyCountsGroups) {
 // --- GPU launch accounting -------------------------------------------------------------------
 
 TEST(GpuAccounting, FourKernelsPerStep) {
-    GpuSimulator sim(small_config(Model::kAco, 200));
-    sim.step();
-    const auto& recs = sim.launch_log().records();
+    const auto sim = backend::make_simt(small_config(Model::kAco, 200));
+    sim->step();
+    const auto& recs = sim->launch_log().records();
     ASSERT_EQ(recs.size(), 4u);
     EXPECT_EQ(recs[0].kernel_name, "support_reset");
     EXPECT_EQ(recs[1].kernel_name, "initial_calc");
@@ -386,52 +387,52 @@ TEST(GpuAccounting, FourKernelsPerStep) {
 }
 
 TEST(GpuAccounting, ModeledTimeGrowsWithSteps) {
-    GpuSimulator sim(small_config(Model::kLem, 200));
-    sim.step();
-    const double t1 = sim.modeled_seconds();
-    sim.step();
-    const double t2 = sim.modeled_seconds();
+    const auto sim = backend::make_simt(small_config(Model::kLem, 200));
+    sim->step();
+    const double t1 = sim->modeled_seconds();
+    sim->step();
+    const double t2 = sim->modeled_seconds();
     EXPECT_GT(t1, 0.0);
     EXPECT_GT(t2, 1.5 * t1);
 }
 
 TEST(GpuAccounting, AcoCostsMoreThanLem) {
     // Paper Fig. 5a: ~11% overhead for ACO's extra pheromone work.
-    GpuSimulator lem(small_config(Model::kLem, 400));
-    GpuSimulator aco(small_config(Model::kAco, 400));
+    const auto lem = backend::make_simt(small_config(Model::kLem, 400));
+    const auto aco = backend::make_simt(small_config(Model::kAco, 400));
     for (int s = 0; s < 10; ++s) {
-        lem.step();
-        aco.step();
+        lem->step();
+        aco->step();
     }
-    EXPECT_GT(aco.modeled_seconds(), lem.modeled_seconds());
+    EXPECT_GT(aco->modeled_seconds(), lem->modeled_seconds());
 }
 
 TEST(GpuAccounting, RemappedHaloReducesDivergence) {
     const auto cfg = small_config(Model::kLem, 400);
     GpuOptions naive;
     naive.remapped_halo_load = false;
-    GpuSimulator a(cfg);
-    GpuSimulator b(cfg, naive);
+    const auto a = backend::make_simt(cfg);
+    const auto b = backend::make_simt(cfg, naive);
     for (int s = 0; s < 5; ++s) {
-        a.step();
-        b.step();
+        a->step();
+        b->step();
     }
-    EXPECT_LT(a.launch_log().total_stats().divergence_rate(),
-              b.launch_log().total_stats().divergence_rate());
+    EXPECT_LT(a->launch_log().total_stats().divergence_rate(),
+              b->launch_log().total_stats().divergence_rate());
 }
 
 TEST(GpuAccounting, NoAtomicsInPaperConfiguration) {
-    GpuSimulator sim(small_config(Model::kAco, 400));
-    sim.run(5);
-    EXPECT_EQ(sim.launch_log().total_stats().atomics, 0u);
+    const auto sim = backend::make_simt(small_config(Model::kAco, 400));
+    sim->run(5);
+    EXPECT_EQ(sim->launch_log().total_stats().atomics, 0u);
 }
 
 TEST(GpuAccounting, AtomicAblationCountsAtomics) {
     GpuOptions opt;
     opt.atomic_movement = true;
-    GpuSimulator sim(small_config(Model::kAco, 400), opt);
-    sim.run(5);
-    EXPECT_GT(sim.launch_log().total_stats().atomics, 0u);
+    const auto sim = backend::make_simt(small_config(Model::kAco, 400), opt);
+    sim->run(5);
+    EXPECT_GT(sim->launch_log().total_stats().atomics, 0u);
 }
 
 }  // namespace

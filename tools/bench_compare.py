@@ -2,16 +2,21 @@
 """Compare two pedsim-bench-v1 artifacts and print per-scenario speedups.
 
     python3 tools/bench_compare.py BENCH_PR6.json BENCH_PR7.json
+    python3 tools/bench_compare.py --fail-on-regress=15 OLD.json NEW.json
 
-Runs are grouped by (scenario, engine, model, threads); each group is
-reduced to its median steps_per_s (matching the `aggregates` block that
-scenario_suite --repeats>1 emits — for single-repeat files the median of
-one run is the run itself) and the speedup column is B's median over A's.
+Runs are grouped by (scenario, engine, model, threads) and each group is
+reduced to one median steps_per_s. Artifacts written by
+`scenario_suite --repeats>1` carry a precomputed `aggregates` array and
+its medians are used directly; older artifacts (e.g. BENCH_PR6.json) have
+no such array, so the medians are computed from the raw `runs` — both
+shapes are first-class input. The speedup column is B's median over A's.
 Only combinations present in both files are compared; the rest are listed
 so a shrunken registry can't masquerade as a speedup.
 
-The exit code is always 0 on well-formed input: bench numbers depend on
-the host, so CI runs this step informationally and gates only the schema.
+By default the exit code is 0 on well-formed input: bench numbers depend
+on the host, so CI runs this step informationally and gates only the
+schema. Passing --fail-on-regress=PCT turns the comparison into a gate:
+exit 1 if any shared combination's speedup falls below 1 - PCT/100.
 """
 
 import json
@@ -25,6 +30,14 @@ def load(path):
         doc = json.load(f)
     if doc.get("schema") != "pedsim-bench-v1":
         raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    aggregates = doc.get("aggregates")
+    if aggregates:
+        return {
+            (agg["scenario"], agg["engine"], agg["model"], agg["threads"]):
+                float(agg["median_steps_per_s"])
+            for agg in aggregates
+        }
+    # Pre-aggregates artifact (or --repeats=1): reduce the raw runs.
     groups = {}
     for run in doc.get("runs", []):
         key = (run["scenario"], run["engine"], run["model"], run["threads"])
@@ -33,10 +46,26 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) != 3:
+    fail_threshold = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--fail-on-regress"):
+            _, _, value = arg.partition("=")
+            try:
+                fail_threshold = float(value)
+            except ValueError:
+                print(f"bad --fail-on-regress value: {value!r}",
+                      file=sys.stderr)
+                return 2
+            if fail_threshold < 0:
+                print("--fail-on-regress must be >= 0", file=sys.stderr)
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    base_path, new_path = argv[1], argv[2]
+    base_path, new_path = paths
     base, new = load(base_path), load(new_path)
 
     shared = sorted(set(base) & set(new))
@@ -45,19 +74,23 @@ def main(argv):
         return 0
 
     header = (
-        f"{'scenario':<22}{'engine':<8}{'model':<7}{'thr':>4}"
+        f"{'scenario':<22}{'engine':<14}{'model':<7}{'thr':>4}"
         f"{'base sps':>12}{'new sps':>12}{'speedup':>9}"
     )
     print(f"base: {base_path}\nnew:  {new_path}\n\n{header}")
     print("-" * len(header))
     speedups = []
+    regressions = []
+    floor = 1.0 - fail_threshold / 100.0 if fail_threshold is not None else None
     for key in shared:
         scenario, engine, model, threads = key
         b, n = base[key], new[key]
         ratio = n / b if b > 0 else float("inf")
         speedups.append(ratio)
+        if floor is not None and ratio < floor:
+            regressions.append((key, ratio))
         print(
-            f"{scenario:<22}{engine:<8}{model:<7}{threads:>4}"
+            f"{scenario:<22}{engine:<14}{model:<7}{threads:>4}"
             f"{b:>12.1f}{n:>12.1f}{ratio:>8.2f}x"
         )
     print("-" * len(header))
@@ -75,6 +108,15 @@ def main(argv):
             print(f"\n{label}:")
             for key in only:
                 print(f"  {'/'.join(str(part) for part in key)}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} combination(s) regressed more "
+            f"than {fail_threshold:g}% (speedup < {floor:.2f}x):"
+        )
+        for key, ratio in regressions:
+            print(f"  {'/'.join(str(part) for part in key)}: {ratio:.2f}x")
+        return 1
     return 0
 
 
