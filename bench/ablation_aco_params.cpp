@@ -28,10 +28,10 @@ double run_throughput(core::SimConfig cfg, int steps, int repeats) {
 
 int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
-    const int grid = static_cast<int>(args.get_int("grid", 128));
-    const int steps = static_cast<int>(args.get_int("steps", 1500));
-    const int density = static_cast<int>(args.get_int("density", 15));
-    const int repeats = static_cast<int>(args.get_int("repeats", 2));
+    const int grid = args.get_int32("grid", 128);
+    const int steps = args.get_int32("steps", 1500);
+    const int density = args.get_int32("density", 15);
+    const int repeats = args.get_int32("repeats", 2);
 
     core::SimConfig base;
     base.grid.rows = base.grid.cols = grid;

@@ -14,8 +14,8 @@ using namespace pedsim;
 
 int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
-    const int warmup = static_cast<int>(args.get_int("warmup", 5));
-    const int measure = static_cast<int>(args.get_int("measure", 10));
+    const int warmup = args.get_int32("warmup", 5);
+    const int measure = args.get_int32("measure", 10);
 
     bench::print_protocol(
         "Ablation — movement conflict resolution: scatter-to-gather vs "

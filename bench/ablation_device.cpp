@@ -14,9 +14,9 @@ using namespace pedsim;
 
 int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
-    const int warmup = static_cast<int>(args.get_int("warmup", 3));
-    const int measure = static_cast<int>(args.get_int("measure", 10));
-    const int density = static_cast<int>(args.get_int("density", 10));
+    const int warmup = args.get_int32("warmup", 3);
+    const int measure = args.get_int32("measure", 10);
+    const int density = args.get_int32("density", 10);
 
     bench::print_protocol(
         "Ablation — device generation and block sizing",

@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
     obs::ObsSession session(args);
     const bool paper = args.get_bool("paper", false);
-    const int warmup = static_cast<int>(args.get_int("warmup", 5));
+    const int warmup = args.get_int32("warmup", 5);
     const int measure =
-        static_cast<int>(args.get_int("measure", paper ? 50 : 12));
+        args.get_int32("measure", paper ? 50 : 12);
     const long long full_steps = args.get_int("steps", 25000);
     const auto densities = parse_densities(
         args.get("densities", paper ? "1,2,4,6,8,10,12,16,20,24,28,32,36,40"

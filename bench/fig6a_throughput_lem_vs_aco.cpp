@@ -27,12 +27,12 @@ int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
     obs::ObsSession session(args);
     const bool paper = args.get_bool("paper", false);
-    const int grid = static_cast<int>(args.get_int("grid", paper ? 480 : 128));
+    const int grid = args.get_int32("grid", paper ? 480 : 128);
     const int steps =
-        static_cast<int>(args.get_int("steps", paper ? 25000 : 1500));
-    const int repeats = static_cast<int>(args.get_int("repeats", paper ? 10 : 2));
+        args.get_int32("steps", paper ? 25000 : 1500);
+    const int repeats = args.get_int32("repeats", paper ? 10 : 2);
     const int max_density =
-        static_cast<int>(args.get_int("max_density", 20));
+        args.get_int32("max_density", 20);
     const backend::EngineSelect engine =
         backend::engines_from_args(args, {backend::DeviceType::kCpu})
             .front();

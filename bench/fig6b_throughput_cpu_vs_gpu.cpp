@@ -27,13 +27,13 @@ int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
     obs::ObsSession session(args);
     const bool paper = args.get_bool("paper", false);
-    const int grid = static_cast<int>(args.get_int("grid", paper ? 480 : 96));
+    const int grid = args.get_int32("grid", paper ? 480 : 96);
     const int steps =
-        static_cast<int>(args.get_int("steps", paper ? 25000 : 700));
+        args.get_int32("steps", paper ? 25000 : 700);
     const int repeats =
-        static_cast<int>(args.get_int("repeats", paper ? 10 : 1));
+        args.get_int32("repeats", paper ? 10 : 1);
     const int max_density =
-        static_cast<int>(args.get_int("max_density", paper ? 40 : 20));
+        args.get_int32("max_density", paper ? 40 : 20);
 
     bench::print_protocol(
         "Figure 6b — ACO throughput, CPU vs GPU engine + binomial GLM",

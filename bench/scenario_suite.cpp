@@ -16,6 +16,7 @@
 //   ./scenario_suite --file=my.scenario     # run a scenario file instead
 //   ./scenario_suite --csv=out.csv          # also dump CSV
 //   ./scenario_suite --json=BENCH.json      # perf-trajectory artifact
+//   ./scenario_suite --server=/tmp/pedsim.sock  # submit to a pedsim_server
 //   ./scenario_suite --trace=out.json --metrics   # observability
 #include <algorithm>
 #include <cinttypes>
@@ -33,6 +34,7 @@
 #include "obs/clock.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "server/client.hpp"
 
 using namespace pedsim;
 
@@ -235,6 +237,73 @@ std::string bench_json(const std::vector<scenario::RunRecord>& records,
     return w.str();
 }
 
+/// Remote execution: submit exactly the batch run() would execute — the
+/// same plan() expansion in the same order — to a resident pedsim_server
+/// and rebuild full RunRecords from the streamed results. Registry
+/// scenarios go by name (so the server's warm cache keys them against
+/// other clients' submissions of the same built-in); file scenarios are
+/// serialized to scenario text. Fingerprints are the in-process ones
+/// bit-for-bit or the server is broken (docs/SERVER.md).
+std::vector<scenario::RunRecord> run_remote(
+    const scenario::ScenarioRunner& runner,
+    const std::vector<scenario::Scenario>& scenarios,
+    const std::vector<bool>& from_registry, const std::string& socket_path,
+    const scenario::RunnerOptions& opts) {
+    const auto jobs = runner.plan(scenarios);
+    std::vector<server::protocol::JobRequest> reqs;
+    reqs.reserve(jobs.size());
+    for (const auto& job : jobs) {
+        server::protocol::JobRequest req;
+        req.registry = from_registry[job.scenario];
+        req.scenario = req.registry
+                           ? scenarios[job.scenario].name
+                           : io::scenario_to_text(scenarios[job.scenario]);
+        req.engine = job.engine;
+        req.model = job.model;
+        req.seed = job.seed;
+        req.steps = job.steps;
+        req.engine_threads = opts.engine_threads;
+        reqs.push_back(std::move(req));
+    }
+
+    server::Client client(socket_path);
+    const auto remote = client.run_batch(reqs);
+
+    std::vector<scenario::RunRecord> records(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const auto& r = remote[j];
+        if (r.failed) {
+            const auto& s = scenarios[jobs[j].scenario];
+            throw std::runtime_error("remote job " + std::to_string(j) +
+                                     " (scenario '" + s.name +
+                                     "') failed: " + r.error);
+        }
+        const auto& s = scenarios[jobs[j].scenario];
+        auto& rec = records[j];
+        // Scenario-derived columns come from the local parse (identical
+        // to what the server parsed — same text/name); run-derived ones
+        // from the server's DoneMsg.
+        rec.scenario = s.name;
+        rec.engine = jobs[j].engine.type;
+        rec.bands = r.bands;
+        rec.model = jobs[j].model;
+        rec.seed = jobs[j].seed;
+        rec.steps = jobs[j].steps;
+        rec.door_events = static_cast<int>(s.sim.doors.size());
+        rec.cycle_events = static_cast<int>(s.sim.cycles.size());
+        rec.mover_events = static_cast<int>(s.sim.movers.size());
+        rec.anticipate_horizon = s.sim.anticipate.horizon;
+        rec.waypoint_cells =
+            static_cast<int>(s.sim.layout.waypoints[0].size() +
+                             s.sim.layout.waypoints[1].size());
+        rec.engine_threads = r.engine_threads;
+        rec.setup_seconds = r.setup_seconds;
+        rec.result = r.result;
+        rec.fingerprint = r.fingerprint;
+    }
+    return records;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,7 +330,11 @@ int main(int argc, char** argv) {
             "                   nested dispatches run inline)\n"
             "  --csv=PATH       also write the records as CSV\n"
             "  --json=PATH      write the perf-trajectory JSON artifact\n"
-            "                   (schema pedsim-bench-v1)");
+            "                   (schema pedsim-bench-v1)\n"
+            "  --server=SOCK    submit the batch to a resident\n"
+            "                   pedsim_server on that Unix socket instead\n"
+            "                   of running in-process (same plan, same\n"
+            "                   order, bit-identical fingerprints)");
         std::puts(obs::cli_help());
         return 0;
     }
@@ -283,15 +356,17 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
-    opts.steps_override = static_cast<int>(args.get_int("steps", 0));
-    opts.repeats = static_cast<int>(args.get_int("repeats", 1));
+    opts.steps_override = args.get_int32("steps", 0);
+    opts.repeats = args.get_int32("repeats", 1);
     opts.threads = args.get_threads();
     opts.engine_threads =
-        static_cast<int>(args.get_int("engine-threads", 0));
+        args.get_int32("engine-threads", 0);
 
     std::vector<scenario::Scenario> scenarios;
+    std::vector<bool> from_registry;  // remote submission: by name vs text
     if (args.positional().empty() && !args.has("file")) {
         scenarios = scenario::all();
+        from_registry.assign(scenarios.size(), true);
     }
     for (const auto& name : args.positional()) {
         if (!scenario::has(name)) {
@@ -299,10 +374,12 @@ int main(int argc, char** argv) {
             return 1;
         }
         scenarios.push_back(scenario::get(name));
+        from_registry.push_back(true);
     }
     if (args.has("file")) {
         try {
             scenarios.push_back(io::load_scenario_file(args.get("file")));
+            from_registry.push_back(false);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
@@ -312,7 +389,18 @@ int main(int argc, char** argv) {
     obs::ObsSession session(args);
     const scenario::ScenarioRunner runner(opts);
     const obs::Stopwatch batch_watch;
-    const auto records = runner.run(scenarios);
+    std::vector<scenario::RunRecord> records;
+    if (args.has("server")) {
+        try {
+            records = run_remote(runner, scenarios, from_registry,
+                                 args.get("server"), opts);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    } else {
+        records = runner.run(scenarios);
+    }
     const double batch_wall = batch_watch.seconds();
     session.finish();
     std::fputs(scenario::ScenarioRunner::summary_table(records).c_str(),

@@ -20,8 +20,8 @@ using namespace pedsim;
 int main(int argc, char** argv) {
     const io::ArgParser args(argc, argv);
     const auto n = static_cast<std::size_t>(args.get_int("cities", 32));
-    const int iters = static_cast<int>(args.get_int("iters", 100));
-    const int seeds = static_cast<int>(args.get_int("seeds", 3));
+    const int iters = args.get_int32("iters", 100);
+    const int seeds = args.get_int32("seeds", 3);
 
     bench::print_protocol(
         "Substrate validation — AS vs MMAS vs nearest-neighbour on TSP",

@@ -68,10 +68,10 @@ int main(int argc, char** argv) {
         return 0;
     }
     obs::ObsSession session(args);
-    const int max_wps = static_cast<int>(args.get_int("max-waypoints", 6));
-    const int agents = static_cast<int>(args.get_int("agents", 150));
-    const int steps = static_cast<int>(args.get_int("steps", 200));
-    const int threads = static_cast<int>(args.get_int("threads", 1));
+    const int max_wps = args.get_int32("max-waypoints", 6);
+    const int agents = args.get_int32("agents", 150);
+    const int steps = args.get_int32("steps", 200);
+    const int threads = args.get_int32("threads", 1);
 
     std::vector<scenario::EngineSelect> engines = backend::engines_from_args(
         args, {scenario::EngineKind::kCpu, scenario::EngineKind::kSimt});

@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    const int grid = static_cast<int>(args.get_int("grid", 128));
-    const int steps = static_cast<int>(args.get_int("steps", 1500));
-    const int levels = static_cast<int>(args.get_int("densities", 8));
+    const int grid = args.get_int32("grid", 128);
+    const int steps = args.get_int32("steps", 1500);
+    const int levels = args.get_int32("densities", 8);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
 
     std::printf(

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     }
 
     core::SimConfig cfg;
-    cfg.grid.rows = cfg.grid.cols = static_cast<int>(args.get_int("grid", 96));
+    cfg.grid.rows = cfg.grid.cols = args.get_int32("grid", 96);
     cfg.agents_per_side =
         static_cast<std::size_t>(args.get_int("agents", 600));
     cfg.model = args.get("model", "aco") == "lem" ? core::Model::kLem
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     cfg.panic.row = cfg.grid.rows / 2;
     cfg.panic.col = cfg.grid.cols / 2;
     cfg.panic.radius = args.get_double("radius", 20.0);
-    const int steps = static_cast<int>(args.get_int("steps", 500));
+    const int steps = args.get_int32("steps", 500);
 
     const auto sim = backend::make_cpu(cfg);
 

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     }
 
     const auto n = static_cast<std::size_t>(args.get_int("cities", 24));
-    const int iters = static_cast<int>(args.get_int("iters", 80));
+    const int iters = args.get_int32("iters", 80);
     const bool circle = args.get("instance", "circle") == "circle";
 
     const auto tsp = circle

@@ -32,11 +32,13 @@ std::vector<EngineSelect> engines_from_args(
 }
 
 int bands_from_args(const io::ArgParser& args) {
-    const auto bands = args.get_int("bands", 0);
+    // Range-checked into int (an out-of-int band count could only wrap
+    // before); negatives keep their own message for continuity.
+    const int bands = args.get_int32("bands", 0);
     if (bands < 0) {
         throw std::invalid_argument("--bands must be >= 0");
     }
-    return static_cast<int>(bands);
+    return bands;
 }
 
 }  // namespace pedsim::backend

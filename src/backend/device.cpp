@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "backend/sharded_simulator.hpp"
@@ -15,9 +16,11 @@ class CpuDevice final : public Device {
   public:
     explicit CpuDevice(DeviceOptions options)
         : Device(DeviceType::kCpu, std::move(options)) {}
+    using Device::create_engine;
     [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
-        const core::SimConfig& cfg) const override {
-        return std::make_unique<core::CpuSimulator>(cfg);
+        const core::SimConfig& cfg,
+        std::shared_ptr<const core::DoorSchedule> warm) const override {
+        return std::make_unique<core::CpuSimulator>(cfg, std::move(warm));
     }
 };
 
@@ -25,9 +28,12 @@ class SimtDevice final : public Device {
   public:
     explicit SimtDevice(DeviceOptions options)
         : Device(DeviceType::kSimt, std::move(options)) {}
+    using Device::create_engine;
     [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
-        const core::SimConfig& cfg) const override {
-        return std::make_unique<core::GpuSimulator>(cfg, options().gpu);
+        const core::SimConfig& cfg,
+        std::shared_ptr<const core::DoorSchedule> warm) const override {
+        return std::make_unique<core::GpuSimulator>(cfg, options().gpu,
+                                                    std::move(warm));
     }
 };
 
@@ -35,9 +41,12 @@ class ShardedCpuDevice final : public Device {
   public:
     explicit ShardedCpuDevice(DeviceOptions options)
         : Device(DeviceType::kShardedCpu, std::move(options)) {}
+    using Device::create_engine;
     [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
-        const core::SimConfig& cfg) const override {
-        return std::make_unique<ShardedCpuSimulator>(cfg, options().bands);
+        const core::SimConfig& cfg,
+        std::shared_ptr<const core::DoorSchedule> warm) const override {
+        return std::make_unique<ShardedCpuSimulator>(cfg, options().bands,
+                                                     std::move(warm));
     }
 };
 
@@ -138,6 +147,13 @@ std::vector<EngineSelect> parse_device_list(std::string_view csv) {
 }
 
 int resolve_bands(const core::SimConfig& cfg, int requested) {
+    // Only the thread-derived default clamps: an explicit over-request is
+    // the configuration error the engine constructor rejects by name.
+    if (requested > cfg.grid.rows) {
+        throw std::invalid_argument(
+            "bands (" + std::to_string(requested) + ") exceeds grid rows (" +
+            std::to_string(cfg.grid.rows) + ")");
+    }
     const int bands =
         requested > 0 ? requested : cfg.exec.effective_threads();
     return std::clamp(bands, 1, cfg.grid.rows);
@@ -151,11 +167,13 @@ std::string engine_label(DeviceType type, int bands) {
     return label;
 }
 
-std::unique_ptr<core::Simulator> make_engine(const EngineSelect& sel,
-                                             const core::SimConfig& cfg) {
+std::unique_ptr<core::Simulator> make_engine(
+    const EngineSelect& sel, const core::SimConfig& cfg,
+    std::shared_ptr<const core::DoorSchedule> warm) {
     DeviceOptions options;
     options.bands = sel.bands;
-    return create_device(sel.type, std::move(options))->create_engine(cfg);
+    return create_device(sel.type, std::move(options))
+        ->create_engine(cfg, std::move(warm));
 }
 
 std::unique_ptr<core::Simulator> make_cpu(const core::SimConfig& cfg) {

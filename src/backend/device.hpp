@@ -73,8 +73,18 @@ class Device {
     /// `cfg.exec` for host parallelism; the device decides the stage
     /// dispatch shape (monolithic slices, simulated kernel blocks, or
     /// row bands with halo exchange).
+    [[nodiscard]] std::unique_ptr<core::Simulator> create_engine(
+        const core::SimConfig& cfg) const {
+        return create_engine(cfg, nullptr);
+    }
+    /// Warm-setup variant: `warm` is a precomputed door schedule to reuse
+    /// instead of rebuilding the field sets (nullptr = build fresh). The
+    /// schedule must come from a config with the same grid/layout/events
+    /// (core::Simulator states the contract); the server's scenario cache
+    /// is the intended supplier.
     [[nodiscard]] virtual std::unique_ptr<core::Simulator> create_engine(
-        const core::SimConfig& cfg) const = 0;
+        const core::SimConfig& cfg,
+        std::shared_ptr<const core::DoorSchedule> warm) const = 0;
 
   private:
     DeviceType type_;
@@ -106,6 +116,9 @@ std::vector<EngineSelect> parse_device_list(std::string_view csv);
 
 /// Row bands a sharded engine for `cfg` actually uses: `requested`, or
 /// one band per effective engine thread when 0, clamped to the grid.
+/// An explicit request above the grid's row count throws the same named
+/// std::invalid_argument the engine constructor does ("bands (N) exceeds
+/// grid rows (R)"), so the error surfaces at selection time.
 int resolve_bands(const core::SimConfig& cfg, int requested);
 
 /// Display/corpus label of a selection: the registry name, with the
@@ -116,9 +129,11 @@ std::string engine_label(DeviceType type, int bands);
 
 // ---- Convenience factories (all route through create_device) ----------
 
-/// Generic: build an engine for a selection.
-std::unique_ptr<core::Simulator> make_engine(const EngineSelect& sel,
-                                             const core::SimConfig& cfg);
+/// Generic: build an engine for a selection; the optional `warm` schedule
+/// skips the field precompute (see Device::create_engine).
+std::unique_ptr<core::Simulator> make_engine(
+    const EngineSelect& sel, const core::SimConfig& cfg,
+    std::shared_ptr<const core::DoorSchedule> warm = nullptr);
 
 /// The paper's sequential CPU comparator.
 std::unique_ptr<core::Simulator> make_cpu(const core::SimConfig& cfg);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -13,7 +15,19 @@ using core::Move;
 
 ShardedCpuSimulator::ShardedCpuSimulator(const core::SimConfig& config,
                                          int bands)
-    : Simulator(config) {
+    : ShardedCpuSimulator(config, bands, nullptr) {}
+
+ShardedCpuSimulator::ShardedCpuSimulator(
+    const core::SimConfig& config, int bands,
+    std::shared_ptr<const core::DoorSchedule> warm)
+    : Simulator(config, std::move(warm)) {
+    // An explicit band count the grid cannot honour is a configuration
+    // error, not something to clamp away: every band must own >= 1 row.
+    if (bands > config_.grid.rows) {
+        throw std::invalid_argument(
+            "bands (" + std::to_string(bands) + ") exceeds grid rows (" +
+            std::to_string(config_.grid.rows) + ")");
+    }
     // Every stage read stays within `halo_` rows of the band: the mask
     // sweeps and neighbour gathers probe one row out, and the scanning
     // look-ahead's congestion ray reaches a candidate (±1) plus

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -38,9 +39,16 @@ namespace pedsim::backend {
 
 class ShardedCpuSimulator final : public core::Simulator {
   public:
-    /// `bands` <= 0 means one band per effective engine thread; the count
-    /// is clamped to the row count so every band owns at least one row.
+    /// `bands` <= 0 means one band per effective engine thread, clamped
+    /// to the row count so every band owns at least one row. An EXPLICIT
+    /// request above the row count is rejected with a named
+    /// std::invalid_argument ("bands (N) exceeds grid rows (R)") instead
+    /// of silently producing degenerate empty bands.
     ShardedCpuSimulator(const core::SimConfig& config, int bands);
+    /// Warm-setup variant: reuse a precomputed door schedule (see the
+    /// Simulator base-class contract).
+    ShardedCpuSimulator(const core::SimConfig& config, int bands,
+                        std::shared_ptr<const core::DoorSchedule> warm);
 
     [[nodiscard]] int bands() const { return static_cast<int>(bands_.size()); }
     /// Global [begin, end) row range owned by band b.

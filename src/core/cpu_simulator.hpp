@@ -16,6 +16,11 @@ namespace pedsim::core {
 class CpuSimulator final : public Simulator {
   public:
     explicit CpuSimulator(const SimConfig& config) : Simulator(config) {}
+    /// Warm-setup variant: reuse a precomputed door schedule (see the
+    /// base-class contract).
+    CpuSimulator(const SimConfig& config,
+                 std::shared_ptr<const DoorSchedule> warm)
+        : Simulator(config, std::move(warm)) {}
 
   protected:
     void stage_reset() override;

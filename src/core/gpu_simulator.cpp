@@ -48,7 +48,11 @@ using grid::kWallOcc;
 }  // namespace
 
 GpuSimulator::GpuSimulator(const SimConfig& config, GpuOptions options)
-    : Simulator(config),
+    : GpuSimulator(config, std::move(options), nullptr) {}
+
+GpuSimulator::GpuSimulator(const SimConfig& config, GpuOptions options,
+                           std::shared_ptr<const DoorSchedule> warm)
+    : Simulator(config, std::move(warm)),
       options_(std::move(options)),
       timing_(options_.device),
       winner_(env_.config().cell_count(), 0) {}

@@ -34,6 +34,10 @@ struct GpuOptions {
 class GpuSimulator final : public Simulator {
   public:
     GpuSimulator(const SimConfig& config, GpuOptions options = {});
+    /// Warm-setup variant: reuse a precomputed door schedule (see the
+    /// Simulator base-class contract).
+    GpuSimulator(const SimConfig& config, GpuOptions options,
+                 std::shared_ptr<const DoorSchedule> warm);
 
     [[nodiscard]] const simt::LaunchLog& launch_log() const { return log_; }
     [[nodiscard]] const GpuOptions& options() const { return options_; }

@@ -34,10 +34,15 @@ std::vector<grid::PlacedAgent> Simulator::init_agents(
 }
 
 Simulator::Simulator(const SimConfig& config)
+    : Simulator(config, nullptr) {}
+
+Simulator::Simulator(const SimConfig& config,
+                     std::shared_ptr<const DoorSchedule> warm)
     : config_(config),
       env_(config.grid),
-      doors_(config_),
-      df_(&doors_.field_after(0)),
+      doors_(warm != nullptr ? std::move(warm)
+                             : std::make_shared<const DoorSchedule>(config_)),
+      df_(&doors_->field_after(0)),
       blend_(df_),
       placed_(init_agents(env_, config_)),
       props_(placed_),
@@ -60,7 +65,7 @@ Simulator::Simulator(const SimConfig& config)
     // advance agents spawned inside the arrival radius of their leading
     // waypoint(s) before the first step.
     if (config_.layout.has_waypoints()) {
-        const auto& cells = doors_.waypoint_cells();
+        const auto& cells = doors_->waypoint_cells();
         for (std::size_t g = 0; g < 2; ++g) {
             for (const auto cell : config_.layout.waypoints[g]) {
                 const auto it = std::lower_bound(cells.begin(), cells.end(),
@@ -72,7 +77,7 @@ Simulator::Simulator(const SimConfig& config)
         wp_blend_.resize(cells.size());
         for (std::size_t slot = 0; slot < cells.size(); ++slot) {
             wp_blend_[slot] =
-                grid::BlendedField(&doors_.waypoint_field_after(0, slot));
+                grid::BlendedField(&doors_->waypoint_field_after(0, slot));
         }
         for (std::size_t i = 1; i < props_.rows(); ++i) {
             if (props_.active[i] != 0) {
@@ -203,7 +208,7 @@ bool Simulator::decide_future(std::int32_t i) {
 }
 
 void Simulator::fire_due_doors() {
-    const auto& events = doors_.events();
+    const auto& events = doors_->events();
     if (next_door_ >= events.size() || events[next_door_].step > step_) {
         return;
     }
@@ -216,7 +221,7 @@ void Simulator::fire_due_doors() {
     obs::MetricsRegistry::add("doors.events_fired", fired);
     // O(1) hot-path cost: the phase's geodesic field was precomputed at
     // construction, so an event is wall toggles plus this pointer swap.
-    df_ = &doors_.field_after(next_door_);
+    df_ = &doors_->field_after(next_door_);
 }
 
 void Simulator::update_anticipation() {
@@ -225,11 +230,11 @@ void Simulator::update_anticipation() {
     // already advanced next_door_ past everything due).
     for (std::size_t slot = 0; slot < wp_blend_.size(); ++slot) {
         wp_blend_[slot] = grid::BlendedField(
-            &doors_.waypoint_field_after(next_door_, slot));
+            &doors_->waypoint_field_after(next_door_, slot));
     }
     const int horizon = config_.anticipate.horizon;
     if (horizon <= 0) return;
-    const auto& events = doors_.events();
+    const auto& events = doors_->events();
     if (next_door_ >= events.size()) return;
     // fire_due_doors already applied everything due, so the next event is
     // strictly in the future: remaining >= 1.
@@ -245,7 +250,7 @@ void Simulator::update_anticipation() {
     // both phases always contribute inside the window.
     const double weight = 1.0 - static_cast<double>(remaining) /
                                     (static_cast<double>(horizon) + 1.0);
-    const grid::DistanceField* next = &doors_.field_after(j);
+    const grid::DistanceField* next = &doors_->field_after(j);
     if (next != df_) {  // revisited configuration: nothing to blend
         blend_ = grid::BlendedField(df_, next, weight);
     }
@@ -253,9 +258,9 @@ void Simulator::update_anticipation() {
     // toward where its CURRENT waypoint will be reachable next phase.
     for (std::size_t slot = 0; slot < wp_blend_.size(); ++slot) {
         const grid::DistanceField* now =
-            &doors_.waypoint_field_after(next_door_, slot);
+            &doors_->waypoint_field_after(next_door_, slot);
         const grid::DistanceField* nxt =
-            &doors_.waypoint_field_after(j, slot);
+            &doors_->waypoint_field_after(j, slot);
         if (nxt != now) {
             wp_blend_[slot] = grid::BlendedField(now, nxt, weight);
         }
@@ -441,7 +446,7 @@ int Simulator::advance_waypoints(std::int32_t i) {
     const auto& chain = chain_for(props_.group_of(i));
     if (chain.empty()) return 0;
     const int radius = config_.layout.waypoint_radius;
-    const auto& cells = doors_.waypoint_cells();
+    const auto& cells = doors_->waypoint_cells();
     int advanced = 0;
     while (props_.waypoint[idx] < chain.size()) {
         const auto cell = cells[chain[props_.waypoint[idx]]];

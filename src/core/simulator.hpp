@@ -68,6 +68,15 @@ using StepObserver = std::function<bool(const StepResult&)>;
 class Simulator {
   public:
     explicit Simulator(const SimConfig& config);
+    /// Warm-setup constructor: reuse a precomputed door schedule (field
+    /// sets included) instead of rebuilding it. `warm` MUST have been
+    /// built from a config with the same grid, layout and dynamic-event
+    /// lists; seed/model/exec/step-budget differences are fine (the
+    /// schedule never depends on them), which is exactly what lets a
+    /// resident server amortize one schedule across many jobs. Passing
+    /// nullptr builds a fresh schedule (identical to the plain ctor).
+    Simulator(const SimConfig& config,
+              std::shared_ptr<const DoorSchedule> warm);
     virtual ~Simulator() = default;
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -89,7 +98,12 @@ class Simulator {
         return *df_;
     }
     /// The door-event schedule and its phase-cached fields.
-    [[nodiscard]] const DoorSchedule& door_schedule() const { return doors_; }
+    [[nodiscard]] const DoorSchedule& door_schedule() const { return *doors_; }
+    /// The schedule as a shareable handle — what a warm cache stores so
+    /// later engines skip the field precompute.
+    [[nodiscard]] std::shared_ptr<const DoorSchedule> shared_schedule() const {
+        return doors_;
+    }
     /// The candidate-scoring view in effect this step for agents with no
     /// pending waypoint: the current phase field, blended toward the next
     /// phase within the anticipation horizon (AnticipateConfig);
@@ -190,8 +204,10 @@ class Simulator {
     SimConfig config_;
     grid::Environment env_;
     /// Phase-cached fields (one per distinct wall configuration); df_
-    /// points at the phase currently in effect.
-    DoorSchedule doors_;
+    /// points at the phase currently in effect. Shared so a warm cache
+    /// can hand the same immutable schedule to many engines at once —
+    /// everything behind the pointer is read-only after construction.
+    std::shared_ptr<const DoorSchedule> doors_;
     const grid::DistanceField* df_;
     /// Candidate-scoring view over df_ (plus, inside the anticipation
     /// horizon, the next phase's field). Updated on the host thread at

@@ -65,15 +65,37 @@ double ArgParser::get_double(const std::string& key, double def) const {
     return x;
 }
 
+int ArgParser::get_int32(const std::string& key, int def, int lo,
+                         int hi) const {
+    const long long x = get_int(key, def);
+    if (x < lo || x > hi) {
+        throw std::invalid_argument(
+            "--" + key + ": value " + std::to_string(x) +
+            " out of range [" + std::to_string(lo) + ", " +
+            std::to_string(hi) + "]");
+    }
+    return static_cast<int>(x);
+}
+
 int ArgParser::get_threads() const {
-    const exec::ExecPolicy policy{static_cast<int>(get_int("threads", 0))};
+    // Range-checked: --threads=4294967297 used to static_cast-wrap to 1
+    // and run "successfully" with the wrong parallelism. Negative counts
+    // are equally meaningless; 0 = hardware concurrency stands.
+    const exec::ExecPolicy policy{
+        get_int32("threads", 0, 0, std::numeric_limits<int>::max())};
     return policy.effective_threads();
 }
 
 bool ArgParser::get_bool(const std::string& key, bool def) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return def;
-    return it->second == "true" || it->second == "1" || it->second == "yes";
+    const std::string& v = it->second;
+    // Strict token set: "--metrics=TRUE" or a typo like "--trace=o" used
+    // to silently read as false — the one outcome the user certainly did
+    // not ask for by spelling the flag out.
+    if (v == "true" || v == "1" || v == "yes") return true;
+    if (v == "false" || v == "0" || v == "no") return false;
+    bad_value(key, "a boolean (true/false/1/0/yes/no)", v);
 }
 
 }  // namespace pedsim::io

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,11 +22,23 @@ class ArgParser {
     /// std::invalid_argument naming the flag, never a silent truncation.
     [[nodiscard]] long long get_int(const std::string& key,
                                     long long def) const;
+    /// get_int range-checked into int: a value outside [lo, hi] throws
+    /// std::invalid_argument naming the flag and the accepted range.
+    /// This is the getter every call site that stores into an int must
+    /// use — `static_cast<int>(get_int(...))` silently wraps
+    /// (--threads=4294967297 used to become 1).
+    [[nodiscard]] int get_int32(const std::string& key, int def,
+                                int lo = std::numeric_limits<int>::min(),
+                                int hi = std::numeric_limits<int>::max()) const;
     [[nodiscard]] double get_double(const std::string& key, double def) const;
+    /// Strict boolean: accepts exactly true/false/1/0/yes/no. Anything
+    /// else ("TRUE", "o", "on") throws naming the flag — it used to be
+    /// silently read as false.
     [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
     /// The shared `--threads=N` convention: N from the command line, or
     /// std::thread::hardware_concurrency() when absent (0 also maps to
-    /// hardware concurrency, matching exec::ExecPolicy).
+    /// hardware concurrency, matching exec::ExecPolicy). Negative or
+    /// int-overflowing values throw naming the flag.
     [[nodiscard]] int get_threads() const;
 
     [[nodiscard]] const std::vector<std::string>& positional() const {

@@ -54,11 +54,27 @@ std::unique_ptr<core::Simulator> make_engine(const EngineSelect& e,
     return backend::make_engine(e, cfg);
 }
 
+PreparedScenario prepare_scenario(const Scenario& s) {
+    // The schedule is a pure function of grid/layout/events — model,
+    // seed, step budget and thread count never reach it — so one build
+    // serves every job permutation of the scenario.
+    return {s, std::make_shared<const core::DoorSchedule>(s.sim)};
+}
+
 ScenarioRunner::ScenarioRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
 
 RunRecord ScenarioRunner::run_one(const Scenario& s, EngineSelect engine,
                                   core::Model model, std::uint64_t seed,
                                   int steps) const {
+    return run_prepared({s, nullptr}, engine, model, seed, steps);
+}
+
+RunRecord ScenarioRunner::run_prepared(const PreparedScenario& p,
+                                       EngineSelect engine, core::Model model,
+                                       std::uint64_t seed, int steps,
+                                       const core::StepObserver& observer)
+    const {
+    const Scenario& s = p.scenario;
     // Anything thrown below (setup validation, engine construction, the
     // run itself) surfaces with the run's coordinates attached: a batch
     // executes on pool workers, and a bare rethrow would leave a failing
@@ -75,7 +91,7 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineSelect engine,
             engine.bands = backend::resolve_bands(cfg, engine.bands);
         }
         const obs::Stopwatch setup_watch;
-        const auto sim = scenario::make_engine(engine, cfg);
+        const auto sim = backend::make_engine(engine, cfg, p.schedule);
         const double setup_seconds = setup_watch.seconds();
         RunRecord rec;
         rec.scenario = s.name;
@@ -93,7 +109,7 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineSelect engine,
                              cfg.layout.waypoints[1].size());
         rec.engine_threads = cfg.exec.threads;
         rec.setup_seconds = setup_seconds;
-        rec.result = sim->run(steps);
+        rec.result = sim->run(steps, observer);
         rec.fingerprint = position_fingerprint(*sim);
         return rec;
     } catch (const std::exception& e) {
@@ -105,20 +121,15 @@ RunRecord ScenarioRunner::run_one(const Scenario& s, EngineSelect engine,
     }
 }
 
-std::vector<RunRecord> ScenarioRunner::run(
+std::vector<ScenarioRunner::JobSpec> ScenarioRunner::plan(
     const std::vector<Scenario>& scenarios) const {
     // Expand the scenario x model x repeat x engine nest into a flat job
-    // list first; job j writes records[j], so the collected batch keeps
-    // the serial nesting order at any thread count.
-    struct JobSpec {
-        const Scenario* scenario;
-        EngineSelect engine;
-        core::Model model;
-        std::uint64_t seed;
-        int steps;
-    };
+    // list; job j writes records[j], so the collected batch keeps the
+    // serial nesting order at any thread count (and a remote batch
+    // submits in the identical order).
     std::vector<JobSpec> jobs;
-    for (const auto& s : scenarios) {
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        const auto& s = scenarios[si];
         const int steps =
             opts_.steps_override > 0 ? opts_.steps_override : s.default_steps;
         const std::vector<core::Model> models =
@@ -128,18 +139,24 @@ std::vector<RunRecord> ScenarioRunner::run(
             for (int rep = 0; rep < opts_.repeats; ++rep) {
                 const auto seed = repeat_seed(s.sim.seed, rep);
                 for (const auto engine : opts_.engines) {
-                    jobs.push_back({&s, engine, model, seed, steps});
+                    jobs.push_back({si, engine, model, seed, steps});
                 }
             }
         }
     }
+    return jobs;
+}
 
+std::vector<RunRecord> ScenarioRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+    const auto jobs = plan(scenarios);
     std::vector<RunRecord> records(jobs.size());
     const exec::ExecPolicy policy{opts_.threads};
     const auto execute = [&](int j) {
         const auto& job = jobs[static_cast<std::size_t>(j)];
-        records[static_cast<std::size_t>(j)] = run_one(
-            *job.scenario, job.engine, job.model, job.seed, job.steps);
+        records[static_cast<std::size_t>(j)] =
+            run_one(scenarios[job.scenario], job.engine, job.model, job.seed,
+                    job.steps);
     };
     if (policy.serial() || jobs.size() <= 1) {
         // Keep serial batches thread-free (no pool is ever created).

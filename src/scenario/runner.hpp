@@ -98,14 +98,58 @@ std::uint64_t repeat_seed(std::uint64_t base, int rep);
 std::unique_ptr<core::Simulator> make_engine(const EngineSelect& e,
                                              const core::SimConfig& cfg);
 
+/// A scenario with the expensive half of its setup precomputed: the
+/// immutable door schedule carrying every phase's geodesic distance field
+/// and the chained waypoint field sets. Engines built against it skip
+/// the Dijkstra precompute entirely; because the schedule never depends
+/// on seed/model/steps/threads, one PreparedScenario serves every job
+/// permutation of the scenario — the unit a resident server's warm cache
+/// stores. A null schedule means "cold": each engine builds its own,
+/// which is bit-identical (the schedule is a pure function of the
+/// scenario), just slower.
+struct PreparedScenario {
+    Scenario scenario;
+    std::shared_ptr<const core::DoorSchedule> schedule;
+};
+
+/// Build the shared schedule for `s` (validates layout + events; throws
+/// std::invalid_argument on a config the engines would reject).
+PreparedScenario prepare_scenario(const Scenario& s);
+
 class ScenarioRunner {
   public:
     explicit ScenarioRunner(RunnerOptions opts = {});
 
-    /// One run of one combination.
+    /// One run of one combination (cold: setup and stepping together).
     [[nodiscard]] RunRecord run_one(const Scenario& s, EngineSelect engine,
                                     core::Model model, std::uint64_t seed,
                                     int steps) const;
+
+    /// One run against precomputed setup: engine construction reuses
+    /// p.schedule (when non-null), so only placement + stepping remain.
+    /// Bit-identical to run_one for the same coordinates — the warm-cache
+    /// correctness property the server tests pin. A non-null observer
+    /// sees every StepResult as it is produced (the server's incremental
+    /// streaming hook); observers never influence the simulation, so the
+    /// record is identical with or without one.
+    [[nodiscard]] RunRecord run_prepared(
+        const PreparedScenario& p, EngineSelect engine, core::Model model,
+        std::uint64_t seed, int steps,
+        const core::StepObserver& observer = nullptr) const;
+
+    /// One job of the flat batch expansion (scenario x model x repeat x
+    /// engine, in that nesting order). Exposed so remote execution
+    /// (scenario_suite --server) submits exactly the batch run() would
+    /// execute in-process.
+    struct JobSpec {
+        std::size_t scenario = 0;  ///< index into the scenarios vector
+        EngineSelect engine;
+        core::Model model = core::Model::kLem;
+        std::uint64_t seed = 0;
+        int steps = 0;
+    };
+    [[nodiscard]] std::vector<JobSpec> plan(
+        const std::vector<Scenario>& scenarios) const;
 
     /// The full batch over the given scenarios.
     [[nodiscard]] std::vector<RunRecord> run(

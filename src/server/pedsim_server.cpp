@@ -1,0 +1,86 @@
+// pedsim_server — the resident batch simulation server binary.
+//
+//   ./pedsim_server --socket=/tmp/pedsim.sock [--threads=2]
+//                   [--max-queue=64] [--metrics] [--metrics-json=FILE]
+//
+// Jobs arrive over the Unix-domain socket (docs/SERVER.md documents the
+// protocol; bench/scenario_suite.cpp --server=SOCK is the stock client).
+// SIGTERM/SIGINT trigger a graceful drain: queued and in-flight jobs
+// finish and stream their results before the process exits.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+#include "io/args.hpp"
+#include "obs/cli.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+std::atomic<pedsim::server::Server*> g_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+    // request_stop is async-signal-safe (one write to a self-pipe).
+    if (auto* s = g_server.load(std::memory_order_relaxed)) {
+        s->request_stop();
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace pedsim;
+    const io::ArgParser args(argc, argv);
+    if (args.has("help")) {
+        std::puts(
+            "pedsim_server — resident batch simulation server\n"
+            "  --socket=PATH    Unix-domain socket to listen on (required)\n"
+            "  --threads=N      concurrent job executors, scheduled on the\n"
+            "                   shared exec::ThreadPool (default 2)\n"
+            "  --max-queue=N    admission bound: queued jobs across all\n"
+            "                   clients; further submits are rejected with\n"
+            "                   a named reason (default 64)");
+        std::puts(obs::cli_help());
+        return 0;
+    }
+
+    try {
+        server::ServerOptions opts;
+        opts.socket_path = args.get("socket");
+        if (opts.socket_path.empty()) {
+            std::fprintf(stderr,
+                         "pedsim_server: --socket=PATH is required\n");
+            return 1;
+        }
+        opts.executors = args.get_int32("threads", 2, 1, 4096);
+        opts.max_queue = static_cast<std::size_t>(
+            args.get_int32("max-queue", 64, 1, 1 << 20));
+
+        obs::ObsSession obs_session(args);
+        server::Server server(opts);
+        server.bind();
+        g_server.store(&server, std::memory_order_relaxed);
+        std::signal(SIGTERM, handle_stop_signal);
+        std::signal(SIGINT, handle_stop_signal);
+        std::fprintf(stderr,
+                     "pedsim_server: listening on %s (%d executor(s), "
+                     "max queue %zu)\n",
+                     opts.socket_path.c_str(), opts.executors,
+                     opts.max_queue);
+        server.serve();
+        g_server.store(nullptr, std::memory_order_relaxed);
+        const auto stats = server.stats();
+        std::fprintf(stderr,
+                     "pedsim_server: drained — %llu completed, %llu failed, "
+                     "%llu rejected; cache %llu hit / %llu miss\n",
+                     static_cast<unsigned long long>(stats.completed),
+                     static_cast<unsigned long long>(stats.failed),
+                     static_cast<unsigned long long>(stats.rejected),
+                     static_cast<unsigned long long>(stats.cache_hits),
+                     static_cast<unsigned long long>(stats.cache_misses));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "pedsim_server: %s\n", e.what());
+        return 1;
+    }
+}

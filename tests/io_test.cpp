@@ -172,12 +172,74 @@ TEST(Args, StrictParseStillAcceptsFullNumbers) {
 }
 
 TEST(Args, BoolParsing) {
-    const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1", "--d=no"};
-    ArgParser args(5, argv);
+    const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1", "--d=no",
+                          "--e=yes", "--f=0", "--bare"};
+    ArgParser args(8, argv);
     EXPECT_TRUE(args.get_bool("a", false));
     EXPECT_FALSE(args.get_bool("b", true));
     EXPECT_TRUE(args.get_bool("c", false));
     EXPECT_FALSE(args.get_bool("d", true));
+    EXPECT_TRUE(args.get_bool("e", false));
+    EXPECT_FALSE(args.get_bool("f", true));
+    EXPECT_TRUE(args.get_bool("bare", false));  // bare flag form
+}
+
+TEST(Args, BoolRejectsUnrecognizedTokensNamingTheFlag) {
+    // "--metrics=TRUE" and a typo like "--trace=o" used to silently read
+    // as false — the opposite of what the user spelled out.
+    const char* argv[] = {"prog", "--metrics=TRUE", "--trace=o", "--x=on"};
+    ArgParser args(4, argv);
+    try {
+        args.get_bool("metrics", false);
+        FAIL() << "--metrics=TRUE accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--metrics"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("TRUE"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(args.get_bool("trace", true), std::invalid_argument);
+    EXPECT_THROW(args.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Args, ThreadsRejectsOutOfRangeAndNegative) {
+    {
+        // 2^32 + 1 used to static_cast-wrap to 1 and run "successfully"
+        // with the wrong parallelism.
+        const char* argv[] = {"prog", "--threads=4294967297"};
+        ArgParser args(2, argv);
+        try {
+            args.get_threads();
+            FAIL() << "--threads=4294967297 accepted";
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("--threads"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    {
+        const char* argv[] = {"prog", "--threads=-2"};
+        ArgParser args(2, argv);
+        EXPECT_THROW(args.get_threads(), std::invalid_argument);
+    }
+    {
+        const char* argv[] = {"prog", "--threads=4"};
+        ArgParser args(2, argv);
+        EXPECT_EQ(args.get_threads(), 4);
+    }
+}
+
+TEST(Args, GetInt32RangeChecks) {
+    const char* argv[] = {"prog", "--steps=8589934592", "--repeats=3",
+                          "--bands=-1"};
+    ArgParser args(4, argv);
+    // 2^33 is a valid long long but not an int: naming the flag beats
+    // wrapping to 0.
+    EXPECT_THROW(args.get_int32("steps", 0), std::invalid_argument);
+    EXPECT_EQ(args.get_int32("repeats", 1), 3);
+    EXPECT_EQ(args.get_int32("bands", 0), -1);  // full int range by default
+    EXPECT_THROW(args.get_int32("bands", 0, 0), std::invalid_argument);
+    EXPECT_EQ(args.get_int32("missing", 42), 42);
 }
 
 }  // namespace

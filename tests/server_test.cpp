@@ -1,0 +1,515 @@
+// Resident-server suite: wire protocol round-trips and fuzz cases,
+// admission-queue fairness and bounds, warm-cache semantics, and
+// end-to-end socket round-trips pinning the server determinism contract —
+// server-returned fingerprints bit-identical to in-process runs, cache
+// hits bit-identical to misses, malformed frames killing one session but
+// never the server, and graceful drain delivering every admitted job's
+// results.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "io/scenario_file.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "server/admission.hpp"
+#include "server/cache.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+using namespace pedsim;
+using namespace pedsim::server;
+
+namespace {
+
+/// Unique socket path per test (Unix sockets outlive crashed tests, so
+/// never share one).
+std::string test_socket(const char* tag) {
+    static int counter = 0;
+    return "/tmp/pedsim_test_" + std::to_string(::getpid()) + "_" + tag +
+           "_" + std::to_string(counter++) + ".sock";
+}
+
+/// A server running on its own thread; stops and joins on destruction.
+struct ServerFixture {
+    explicit ServerFixture(ServerOptions opts) : srv(std::move(opts)) {
+        srv.bind();  // before the thread starts: connect cannot race it
+        thread = std::thread([this] { srv.serve(); });
+    }
+    ~ServerFixture() {
+        srv.request_stop();
+        thread.join();
+    }
+    Server srv;
+    std::thread thread;
+};
+
+protocol::JobRequest registry_job(const std::string& name,
+                                  backend::EngineSelect engine,
+                                  int steps = 40) {
+    protocol::JobRequest req;
+    req.registry = true;
+    req.scenario = name;
+    req.engine = engine;
+    req.model = core::Model::kLem;
+    req.seed = scenario::get(name).sim.seed;
+    req.steps = steps;
+    return req;
+}
+
+/// The in-process truth the server must reproduce bit-for-bit.
+scenario::RunRecord local_run(const protocol::JobRequest& req,
+                              std::vector<core::StepResult>* steps = nullptr) {
+    const scenario::ScenarioRunner runner;
+    const auto s = req.registry ? scenario::get(req.scenario)
+                                : io::parse_scenario(req.scenario);
+    const core::StepObserver obs =
+        steps == nullptr ? core::StepObserver{}
+                         : [&](const core::StepResult& sr) {
+                               steps->push_back(sr);
+                               return true;
+                           };
+    return runner.run_prepared({s, nullptr}, req.engine, req.model, req.seed,
+                               req.steps, obs);
+}
+
+}  // namespace
+
+// --- Protocol -----------------------------------------------------------
+
+TEST(Protocol, SubmitRoundTrip) {
+    protocol::JobRequest req;
+    req.registry = false;
+    req.scenario = "name = x\nsteps = 7\n";
+    req.engine = {backend::DeviceType::kShardedCpu, 4};
+    req.model = core::Model::kAco;
+    req.seed = 0xDEADBEEFCAFEF00Dull;
+    req.steps = 123;
+    req.engine_threads = 3;
+    const auto decoded = protocol::decode_submit(protocol::encode_submit(req));
+    EXPECT_EQ(decoded.registry, req.registry);
+    EXPECT_EQ(decoded.scenario, req.scenario);
+    EXPECT_EQ(decoded.engine, req.engine);
+    EXPECT_EQ(decoded.model, req.model);
+    EXPECT_EQ(decoded.seed, req.seed);
+    EXPECT_EQ(decoded.steps, req.steps);
+    EXPECT_EQ(decoded.engine_threads, req.engine_threads);
+}
+
+TEST(Protocol, StepsAndDoneRoundTrip) {
+    protocol::StepBatch batch;
+    batch.job_id = 42;
+    for (int i = 0; i < 3; ++i) {
+        core::StepResult s;
+        s.step = static_cast<std::uint64_t>(i);
+        s.proposals = 10 + i;
+        s.moves = 8 + i;
+        s.conflicts = i;
+        s.crossed_top = 1;
+        s.crossed_bottom = 2;
+        s.waypoint_advances = i;
+        batch.steps.push_back(s);
+    }
+    const auto rt = protocol::decode_steps(protocol::encode_steps(batch));
+    EXPECT_EQ(rt.job_id, 42u);
+    EXPECT_EQ(rt.steps, batch.steps);
+
+    protocol::DoneMsg done;
+    done.job_id = 42;
+    done.fingerprint = 0x0123456789ABCDEFull;
+    done.result.steps_run = 100;
+    done.result.crossed_top = 5;
+    done.result.crossed_bottom = 6;
+    done.result.total_moves = 700;
+    done.result.total_conflicts = 8;
+    done.result.wall_seconds = 0.25;
+    done.result.modeled_device_seconds = 0.125;
+    done.setup_seconds = 0.5;
+    done.bands = 4;
+    done.engine_threads = 2;
+    done.cache_hit = true;
+    const auto d = protocol::decode_done(protocol::encode_done(done));
+    EXPECT_EQ(d.fingerprint, done.fingerprint);
+    EXPECT_EQ(d.result.total_moves, done.result.total_moves);
+    EXPECT_DOUBLE_EQ(d.result.wall_seconds, 0.25);
+    EXPECT_DOUBLE_EQ(d.setup_seconds, 0.5);
+    EXPECT_EQ(d.bands, 4);
+    EXPECT_TRUE(d.cache_hit);
+}
+
+TEST(Protocol, MalformedPayloadsThrow) {
+    // Underrun: a submit frame cut short.
+    auto payload = protocol::encode_submit(protocol::JobRequest{});
+    payload.resize(payload.size() - 1);
+    EXPECT_THROW(protocol::decode_submit(payload), protocol::ProtocolError);
+    // Trailing garbage after a complete message.
+    auto acc = protocol::encode_accepted({1, 2});
+    acc.push_back(0xFF);
+    EXPECT_THROW(protocol::decode_accepted(acc), protocol::ProtocolError);
+    // Out-of-range enum fields.
+    protocol::Writer w;
+    w.u8(7);  // bad source
+    EXPECT_THROW(protocol::decode_submit(w.take()), protocol::ProtocolError);
+}
+
+// --- Admission queue ----------------------------------------------------
+
+TEST(Admission, RoundRobinAcrossClients) {
+    AdmissionQueue<int> q(16);
+    std::string reason;
+    // Client 1 floods; client 2 submits two jobs afterwards.
+    EXPECT_TRUE(q.push(1, 10, &reason));
+    EXPECT_TRUE(q.push(1, 11, &reason));
+    EXPECT_TRUE(q.push(1, 12, &reason));
+    EXPECT_TRUE(q.push(1, 13, &reason));
+    EXPECT_TRUE(q.push(2, 20, &reason));
+    EXPECT_TRUE(q.push(2, 21, &reason));
+    std::vector<int> order;
+    int v = 0;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(q.pop(v));
+        order.push_back(v);
+    }
+    // Alternating service while both lanes are live, FIFO within a lane.
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21, 12, 13}));
+}
+
+TEST(Admission, RejectsWhenFullAndDrainsAfterClose) {
+    AdmissionQueue<int> q(2);
+    std::string reason;
+    EXPECT_TRUE(q.push(1, 1, &reason));
+    EXPECT_TRUE(q.push(1, 2, &reason));
+    EXPECT_FALSE(q.push(1, 3, &reason));
+    EXPECT_NE(reason.find("queue full"), std::string::npos) << reason;
+    q.close();
+    EXPECT_FALSE(q.push(2, 4, &reason));
+    EXPECT_NE(reason.find("shutting down"), std::string::npos) << reason;
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v));  // closed and drained
+}
+
+// --- Warm cache ---------------------------------------------------------
+
+TEST(Cache, KeysSeparateTextAndRegistryNamespaces) {
+    // A scenario FILE whose text happens to equal a registry NAME must
+    // never alias the built-in.
+    EXPECT_NE(ScenarioCache::key_for_text("forward"),
+              ScenarioCache::key_for_registry("forward"));
+    EXPECT_NE(ScenarioCache::key_for_text("a"),
+              ScenarioCache::key_for_text("b"));
+}
+
+TEST(Cache, BuildsOnceThenShares) {
+    ScenarioCache cache;
+    int builds = 0;
+    const auto build = [&] {
+        ++builds;
+        return scenario::prepare_scenario(scenario::get("corridor_small"));
+    };
+    const auto key = ScenarioCache::key_for_registry("corridor_small");
+    const auto a = cache.get_or_prepare(key, build);
+    bool hit = false;
+    const auto b = cache.get_or_prepare(key, build, &hit);
+    EXPECT_EQ(builds, 1);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(a.get(), b.get());  // the same shared entry, not a copy
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, ThrowingBuildIsCachedPerKey) {
+    ScenarioCache cache;
+    const auto key = ScenarioCache::key_for_text("garbage");
+    const auto boom = [&]() -> scenario::PreparedScenario {
+        throw std::invalid_argument("unparseable");
+    };
+    EXPECT_THROW(cache.get_or_prepare(key, boom), std::invalid_argument);
+    // Deterministic input, deterministic error: rethrown, not rebuilt.
+    int calls = 0;
+    const auto count = [&]() -> scenario::PreparedScenario {
+        ++calls;
+        throw std::invalid_argument("unparseable");
+    };
+    EXPECT_THROW(cache.get_or_prepare(key, count), std::invalid_argument);
+    EXPECT_EQ(calls, 0);
+}
+
+// --- End-to-end over the socket ----------------------------------------
+
+TEST(ServerRoundTrip, FingerprintsMatchLocalAndCacheHitsAreBitIdentical) {
+    const auto sock = test_socket("roundtrip");
+    ServerFixture fixture({sock, 2, 16});
+    Client client(sock);
+
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 60);
+    std::vector<core::StepResult> local_steps;
+    const auto local = local_run(req, &local_steps);
+
+    // First submission: a cache miss. Second: a hit. Both bit-identical
+    // to the in-process run — steps stream included.
+    for (const bool expect_hit : {false, true}) {
+        const auto sub = client.submit(req);
+        ASSERT_TRUE(sub.accepted) << sub.reason;
+        const auto r = client.wait_any();
+        ASSERT_FALSE(r.failed) << r.error;
+        EXPECT_EQ(r.cache_hit, expect_hit);
+        EXPECT_EQ(r.fingerprint, local.fingerprint);
+        EXPECT_EQ(r.steps, local_steps);
+        EXPECT_EQ(r.result.total_moves, local.result.total_moves);
+        EXPECT_EQ(r.result.steps_run, local.result.steps_run);
+    }
+    const auto stats = client.stats();
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServerRoundTrip, ScenarioTextSubmissionMatchesRegistrySubmission) {
+    const auto sock = test_socket("text");
+    ServerFixture fixture({sock, 2, 16});
+    Client client(sock);
+
+    auto by_name = registry_job("bottleneck_doorway",
+                                {backend::DeviceType::kSimt}, 40);
+    protocol::JobRequest by_text = by_name;
+    by_text.registry = false;
+    by_text.scenario =
+        io::scenario_to_text(scenario::get("bottleneck_doorway"));
+
+    ASSERT_TRUE(client.submit(by_name).accepted);
+    ASSERT_TRUE(client.submit(by_text).accepted);
+    const auto results = client.wait_all();
+    ASSERT_EQ(results.size(), 2u);
+    ASSERT_FALSE(results[0].failed) << results[0].error;
+    ASSERT_FALSE(results[1].failed) << results[1].error;
+    EXPECT_EQ(results[0].fingerprint, results[1].fingerprint);
+    EXPECT_EQ(results[0].fingerprint, local_run(by_name).fingerprint);
+}
+
+TEST(ServerRoundTrip, GarbageScenarioTextFailsPerJobNotPerServer) {
+    const auto sock = test_socket("garbage");
+    ServerFixture fixture({sock, 1, 16});
+    Client client(sock);
+
+    protocol::JobRequest bad;
+    bad.registry = false;
+    bad.scenario = "this is not a scenario file\x01\x02";
+    bad.engine = {backend::DeviceType::kCpu};
+    bad.steps = 10;
+    ASSERT_TRUE(client.submit(bad).accepted);
+    const auto r = client.wait_any();
+    EXPECT_TRUE(r.failed);
+    EXPECT_FALSE(r.error.empty());
+
+    // Engine-level configuration errors are also per-job: bands beyond
+    // the grid's rows.
+    auto over = registry_job("corridor_small",
+                             {backend::DeviceType::kShardedCpu, 1 << 14}, 10);
+    ASSERT_TRUE(client.submit(over).accepted);
+    const auto r2 = client.wait_any();
+    EXPECT_TRUE(r2.failed);
+    EXPECT_NE(r2.error.find("exceeds grid rows"), std::string::npos)
+        << r2.error;
+
+    // The server survived both: a good job still runs on the same
+    // connection.
+    const auto good = registry_job("corridor_small",
+                                   {backend::DeviceType::kCpu}, 20);
+    ASSERT_TRUE(client.submit(good).accepted);
+    const auto r3 = client.wait_any();
+    ASSERT_FALSE(r3.failed) << r3.error;
+    EXPECT_EQ(r3.fingerprint, local_run(good).fingerprint);
+}
+
+TEST(ServerRoundTrip, UnknownRegistryNameAndBadStepsAreRejected) {
+    const auto sock = test_socket("reject");
+    ServerFixture fixture({sock, 1, 16});
+    Client client(sock);
+    auto req = registry_job("corridor_small", {backend::DeviceType::kCpu});
+    req.scenario = "no_such_scenario";
+    const auto s1 = client.submit(req);
+    EXPECT_FALSE(s1.accepted);
+    EXPECT_NE(s1.reason.find("no_such_scenario"), std::string::npos)
+        << s1.reason;
+    auto zero = registry_job("corridor_small", {backend::DeviceType::kCpu});
+    zero.steps = 0;
+    const auto s2 = client.submit(zero);
+    EXPECT_FALSE(s2.accepted);
+    EXPECT_NE(s2.reason.find("steps"), std::string::npos) << s2.reason;
+}
+
+TEST(ServerRoundTrip, QueueFullRejectionNamesTheBound) {
+    // executors=0 is the test-only "never drain" configuration: admission
+    // is deterministic — max_queue jobs fit, the next is rejected.
+    const auto sock = test_socket("full");
+    ServerFixture fixture({sock, 0, 2});
+    Client client(sock);
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 10);
+    EXPECT_TRUE(client.submit(req).accepted);
+    EXPECT_TRUE(client.submit(req).accepted);
+    const auto third = client.submit(req);
+    EXPECT_FALSE(third.accepted);
+    EXPECT_NE(third.reason.find("queue full"), std::string::npos)
+        << third.reason;
+}
+
+TEST(ServerFuzz, MalformedFramesKillTheSessionNotTheServer) {
+    const auto sock = test_socket("fuzz");
+    ServerFixture fixture({sock, 1, 16});
+
+    const auto raw_connect = [&] {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, sock.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)),
+                  0);
+        return fd;
+    };
+    const auto expect_closed = [](int fd) {
+        // The server closes a session it cannot resync; read drains any
+        // buffered output then hits EOF.
+        char buf[256];
+        for (;;) {
+            const ssize_t r = ::read(fd, buf, sizeof(buf));
+            if (r <= 0) {
+                EXPECT_EQ(r, 0);
+                break;
+            }
+        }
+        ::close(fd);
+    };
+
+    {
+        // Oversized length field: 0xFFFFFFFF payload announcement.
+        const int fd = raw_connect();
+        const std::uint8_t frame[5] = {1, 0xFF, 0xFF, 0xFF, 0xFF};
+        ASSERT_EQ(::write(fd, frame, sizeof(frame)), 5);
+        expect_closed(fd);
+    }
+    {
+        // Unknown frame type.
+        const int fd = raw_connect();
+        const std::uint8_t frame[5] = {99, 0, 0, 0, 0};
+        ASSERT_EQ(::write(fd, frame, sizeof(frame)), 5);
+        expect_closed(fd);
+    }
+    {
+        // Truncated frame: header promising 100 bytes, connection closed
+        // after 3.
+        const int fd = raw_connect();
+        const std::uint8_t frame[8] = {1, 100, 0, 0, 0, 0xAA, 0xBB, 0xCC};
+        ASSERT_EQ(::write(fd, frame, sizeof(frame)), 8);
+        ::close(fd);
+    }
+    {
+        // A submit frame whose payload decodes to garbage fields.
+        const int fd = raw_connect();
+        const std::uint8_t frame[8] = {1, 3, 0, 0, 0, 0xFF, 0xFF, 0xFF};
+        ASSERT_EQ(::write(fd, frame, sizeof(frame)), 8);
+        expect_closed(fd);
+    }
+
+    // After all four abusive sessions the server still serves real work.
+    Client client(sock);
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 20);
+    ASSERT_TRUE(client.submit(req).accepted);
+    const auto r = client.wait_any();
+    ASSERT_FALSE(r.failed) << r.error;
+    EXPECT_EQ(r.fingerprint, local_run(req).fingerprint);
+}
+
+TEST(ServerConcurrency, ConcurrentClientsGetDeterministicResults) {
+    const auto sock = test_socket("concurrent");
+    ServerFixture fixture({sock, 3, 32});
+
+    // Each client submits the full engine matrix for its scenario; all
+    // fingerprints must equal the in-process truth, and the cross-engine
+    // ones must agree with each other (cpu == simt == sharded:2).
+    const std::vector<std::string> scenarios = {"corridor_small",
+                                                "bottleneck_doorway",
+                                                "pillar_field"};
+    const std::vector<backend::EngineSelect> engines = {
+        {backend::DeviceType::kCpu},
+        {backend::DeviceType::kSimt},
+        {backend::DeviceType::kShardedCpu, 2}};
+
+    std::vector<std::thread> threads;
+    std::vector<std::string> failures(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        threads.emplace_back([&, i] {
+            try {
+                Client client(sock);
+                std::vector<protocol::JobRequest> reqs;
+                for (const auto& engine : engines) {
+                    reqs.push_back(registry_job(scenarios[i], engine, 40));
+                }
+                const auto results = client.run_batch(reqs);
+                const auto truth = local_run(reqs[0]);
+                for (const auto& r : results) {
+                    if (r.failed) {
+                        failures[i] = r.error;
+                        return;
+                    }
+                    if (r.fingerprint != truth.fingerprint) {
+                        failures[i] = scenarios[i] +
+                                      ": fingerprint mismatch across engines";
+                        return;
+                    }
+                }
+            } catch (const std::exception& e) {
+                failures[i] = e.what();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        EXPECT_TRUE(failures[i].empty())
+            << scenarios[i] << ": " << failures[i];
+    }
+}
+
+TEST(ServerShutdown, DrainDeliversAdmittedJobsBeforeExit) {
+    const auto sock = test_socket("drain");
+    auto fixture = std::make_unique<ServerFixture>(
+        ServerOptions{sock, 1, 16});
+    Client client(sock);
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 80);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+        const auto s = client.submit(req);
+        ASSERT_TRUE(s.accepted) << s.reason;
+        ids.push_back(s.job_id);
+    }
+    // Graceful stop (the SIGTERM path) with 4 jobs admitted: every one
+    // must still stream its results before the server exits.
+    fixture->srv.request_stop();
+    const auto results = client.wait_all();
+    fixture.reset();  // serve() returned; join
+    ASSERT_EQ(results.size(), 4u);
+    const auto truth = local_run(req);
+    for (const auto& r : results) {
+        ASSERT_FALSE(r.failed) << r.error;
+        EXPECT_EQ(r.fingerprint, truth.fingerprint);
+    }
+}

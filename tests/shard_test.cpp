@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -160,10 +161,29 @@ TEST(ShardDevice, BandPartitionCoversGridExactly) {
     }
 }
 
-TEST(ShardDevice, BandCountClampsToRows) {
+TEST(ShardDevice, ExplicitBandCountAboveRowsIsRejected) {
+    // An explicit request the grid cannot honour (every band must own at
+    // least one row) is a configuration error named at creation time, not
+    // something to clamp away silently. Both the engine constructor and
+    // the selection-time resolver throw the same named message.
     const auto cfg = crossing_config(60);
-    const auto sim = backend::make_sharded(cfg, 1 << 14);
-    EXPECT_EQ(sim->bands(), cfg.grid.rows);
+    try {
+        backend::make_sharded(cfg, cfg.grid.rows + 1);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("bands (49) exceeds grid rows"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(backend::resolve_bands(cfg, 1 << 14),
+                 std::invalid_argument);
+    // The exact row count is still fine, and the thread-derived default
+    // (0) clamps to the grid as before.
+    EXPECT_EQ(backend::make_sharded(cfg, cfg.grid.rows)->bands(),
+              cfg.grid.rows);
+    auto wide = cfg;
+    wide.exec.threads = 1 << 14;
+    EXPECT_EQ(backend::make_sharded(wide, 0)->bands(), wide.grid.rows);
 }
 
 TEST(ShardDevice, HaloWidthTracksScanRange) {

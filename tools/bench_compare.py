@@ -13,10 +13,23 @@ shapes are first-class input. The speedup column is B's median over A's.
 Only combinations present in both files are compared; the rest are listed
 so a shrunken registry can't masquerade as a speedup.
 
-By default the exit code is 0 on well-formed input: bench numbers depend
-on the host, so CI runs this step informationally and gates only the
-schema. Passing --fail-on-regress=PCT turns the comparison into a gate:
-exit 1 if any shared combination's speedup falls below 1 - PCT/100.
+By default the exit code is 0 on well-formed, comparable input: bench
+numbers depend on the host, so CI runs this step informationally and
+gates only the schema. Passing --fail-on-regress=PCT turns the
+comparison into a gate: exit 1 if any shared combination's speedup falls
+below 1 - PCT/100.
+
+Exit codes:
+    0  compared successfully (no gate, or gate passed)
+    1  --fail-on-regress gate tripped
+    2  usage error, unreadable file, or schema mismatch
+    3  nothing to compare: no shared combinations, or every shared
+       combination has a zero/absent baseline median (a renamed registry
+       or an empty artifact must not masquerade as a pass)
+
+Combinations whose baseline median is zero are excluded from the speedup
+table with a named diagnostic instead of propagating a division by zero
+(or an infinite "speedup") into the summary.
 """
 
 import json
@@ -25,11 +38,18 @@ from statistics import median
 
 
 def load(path):
-    """-> {(scenario, engine, model, threads): median steps_per_s}"""
+    """-> {(scenario, engine, model, threads): median steps_per_s}
+
+    Raises ValueError on unparseable JSON or a schema mismatch; the
+    caller turns either into exit code 2.
+    """
     with open(path) as f:
-        doc = json.load(f)
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{path}: not valid JSON: {e}") from e
     if doc.get("schema") != "pedsim-bench-v1":
-        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
     aggregates = doc.get("aggregates")
     if aggregates:
         return {
@@ -66,12 +86,45 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     base_path, new_path = paths
-    base, new = load(base_path), load(new_path)
+    try:
+        base, new = load(base_path), load(new_path)
+    except (OSError, ValueError) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 2
 
     shared = sorted(set(base) & set(new))
     if not shared:
-        print("no shared (scenario, engine, model, threads) combinations")
-        return 0
+        print(
+            f"ERROR: no shared (scenario, engine, model, threads) "
+            f"combinations between {base_path} ({len(base)} combination(s)) "
+            f"and {new_path} ({len(new)} combination(s)) — nothing to "
+            f"compare",
+            file=sys.stderr,
+        )
+        return 3
+
+    # A zero baseline median means the baseline artifact carries no
+    # usable timing for that combination (e.g. a sub-resolution wall
+    # clock): excluded by name rather than reported as an infinite
+    # speedup.
+    zero_base = [key for key in shared if base[key] <= 0.0]
+    shared = [key for key in shared if base[key] > 0.0]
+    if zero_base:
+        print(
+            f"WARNING: {len(zero_base)} combination(s) excluded — zero "
+            f"baseline median_steps_per_s in {base_path}:",
+            file=sys.stderr,
+        )
+        for key in zero_base:
+            print(f"  {'/'.join(str(part) for part in key)}",
+                  file=sys.stderr)
+    if not shared:
+        print(
+            f"ERROR: every shared combination has a zero baseline in "
+            f"{base_path} — nothing to compare",
+            file=sys.stderr,
+        )
+        return 3
 
     header = (
         f"{'scenario':<22}{'engine':<14}{'model':<7}{'thr':>4}"
@@ -85,7 +138,7 @@ def main(argv):
     for key in shared:
         scenario, engine, model, threads = key
         b, n = base[key], new[key]
-        ratio = n / b if b > 0 else float("inf")
+        ratio = n / b
         speedups.append(ratio)
         if floor is not None and ratio < floor:
             regressions.append((key, ratio))

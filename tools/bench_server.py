@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Measure resident-server vs fork-per-batch batch throughput.
+
+    python3 tools/bench_server.py --build-dir=build --out=BENCH_PR9.json
+
+Both modes execute the identical job list — every registry scenario on
+the CPU engine x --repeats, the same plan() expansion in the same order:
+
+- **fork-per-batch**: a fresh `scenario_suite` process per batch, the
+  pre-server workflow. Every batch re-parses every scenario and rebuilds
+  every door schedule from scratch.
+- **server**: one resident `pedsim_server`, one warm-up pass (all cache
+  misses), then measured passes against the warmed cache.
+
+Batch wall time is measured around the whole client invocation (process
+spawn included — that is the honest cost of the fork workflow), and the
+two modes' fingerprint CSVs are diffed so a throughput number can never
+come from diverging simulations. The artifact keys are stable so the
+file diffs cleanly across PRs.
+"""
+
+import argparse
+import csv
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from statistics import median
+
+
+def run_suite(build_dir, extra, csv_path):
+    """One scenario_suite invocation; returns (wall_seconds, n_jobs)."""
+    cmd = [
+        os.path.join(build_dir, "scenario_suite"),
+        "--backend=cpu",
+        "--steps=20",
+        "--threads=3",
+        f"--csv={csv_path}",
+        *extra,
+    ]
+    start = time.monotonic()
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    wall = time.monotonic() - start
+    with open(csv_path) as f:
+        n_jobs = sum(1 for _ in csv.reader(f)) - 1  # minus header
+    return wall, n_jobs
+
+
+def fingerprints(csv_path):
+    with open(csv_path) as f:
+        rows = list(csv.DictReader(f))
+    return [(r["scenario"], r["engine"], r["seed"], r["fingerprint"])
+            for r in rows]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_PR9.json")
+    ap.add_argument("--repeats", type=int, default=7,
+                    help="repeats per scenario x engine (7 -> 112 jobs)")
+    ap.add_argument("--batches", type=int, default=3,
+                    help="measured batches per mode (median reported)")
+    args = ap.parse_args()
+
+    repeats = [f"--repeats={args.repeats}"]
+    tmp = tempfile.mkdtemp(prefix="pedsim-bench-server-")
+    sock = os.path.join(tmp, "pedsim.sock")
+
+    # Fork-per-batch baseline: a fresh process per batch.
+    fork_walls = []
+    n_jobs = 0
+    for i in range(args.batches):
+        wall, n_jobs = run_suite(args.build_dir, repeats,
+                                 os.path.join(tmp, f"fork{i}.csv"))
+        fork_walls.append(wall)
+        print(f"fork-per-batch {i}: {n_jobs} jobs in {wall:.3f}s "
+              f"({n_jobs / wall:.1f} jobs/s)")
+
+    # Resident server: warm the cache once, then measure.
+    server = subprocess.Popen(
+        [os.path.join(args.build_dir, "pedsim_server"),
+         f"--socket={sock}", "--threads=3"],
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(sock):
+            if time.monotonic() > deadline:
+                raise SystemExit("server socket never appeared")
+            time.sleep(0.05)
+        remote = [f"--server={sock}", *repeats]
+        run_suite(args.build_dir, remote, os.path.join(tmp, "warmup.csv"))
+        server_walls = []
+        for i in range(args.batches):
+            wall, n = run_suite(args.build_dir, remote,
+                                os.path.join(tmp, f"server{i}.csv"))
+            assert n == n_jobs, (n, n_jobs)
+            server_walls.append(wall)
+            print(f"server (warm)   {i}: {n} jobs in {wall:.3f}s "
+                  f"({n / wall:.1f} jobs/s)")
+    finally:
+        server.send_signal(signal.SIGTERM)
+        server.wait(timeout=30)
+
+    # Bit-parity gate: a throughput win on different results is no win.
+    base_fp = fingerprints(os.path.join(tmp, "fork0.csv"))
+    for i in range(args.batches):
+        fp = fingerprints(os.path.join(tmp, f"server{i}.csv"))
+        if fp != base_fp:
+            raise SystemExit(f"fingerprint mismatch in server batch {i}")
+    print(f"fingerprints identical across modes ({len(base_fp)} rows)")
+
+    fork_jps = n_jobs / median(fork_walls)
+    server_jps = n_jobs / median(server_walls)
+    doc = {
+        "schema": "pedsim-server-bench-v1",
+        "suite": "bench_server",
+        "jobs_per_batch": n_jobs,
+        "batches": args.batches,
+        "steps": 20,
+        "backend": "cpu",
+        "client_threads": 3,
+        "server_executors": 3,
+        "fork_per_batch": {
+            "wall_s": [round(w, 4) for w in fork_walls],
+            "median_wall_s": round(median(fork_walls), 4),
+            "jobs_per_s": round(fork_jps, 2),
+        },
+        "server_warm_cache": {
+            "wall_s": [round(w, 4) for w in server_walls],
+            "median_wall_s": round(median(server_walls), 4),
+            "jobs_per_s": round(server_jps, 2),
+        },
+        "speedup": round(server_jps / fork_jps, 3),
+        "fingerprints_identical": True,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}: {fork_jps:.1f} -> {server_jps:.1f} jobs/s "
+          f"({doc['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Checks for tools/bench_compare.py — the defined exit-code contract.
+
+Runs under pytest (`pytest tools/test_bench_compare.py`) or standalone
+with no dependencies (`python3 tools/test_bench_compare.py`), which is
+how CI invokes it; either way every `test_*` function must pass.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def artifact(runs, aggregates=None, schema="pedsim-bench-v1"):
+    doc = {"schema": schema, "suite": "scenario_suite", "runs": runs}
+    if aggregates is not None:
+        doc["aggregates"] = aggregates
+    return doc
+
+
+def run(scenario, engine="cpu", model="lem", threads=1, sps=100.0):
+    return {
+        "scenario": scenario,
+        "engine": engine,
+        "model": model,
+        "threads": threads,
+        "steps_per_s": sps,
+    }
+
+
+@contextlib.contextmanager
+def on_disk(*docs):
+    paths = []
+    try:
+        for doc in docs:
+            fd, path = tempfile.mkstemp(suffix=".json")
+            with os.fdopen(fd, "w") as f:
+                if isinstance(doc, str):
+                    f.write(doc)
+                else:
+                    json.dump(doc, f)
+            paths.append(path)
+        yield paths
+    finally:
+        for path in paths:
+            os.unlink(path)
+
+
+def compare(*docs, flags=()):
+    """-> (exit_code, stdout, stderr)"""
+    with on_disk(*docs) as paths:
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = bench_compare.main(["bench_compare.py", *flags, *paths])
+        return code, out.getvalue(), err.getvalue()
+
+
+def test_matching_artifacts_compare_cleanly():
+    a = artifact([run("corridor", sps=100.0)])
+    b = artifact([run("corridor", sps=150.0)])
+    code, out, _ = compare(a, b)
+    assert code == 0, out
+    assert "1.50x" in out
+
+
+def test_empty_shared_set_is_a_named_error_not_a_silent_pass():
+    # The historical bug: disjoint combination sets passed with exit 0
+    # (and a fixed median([]) crash when the summary ran on no rows).
+    a = artifact([run("corridor")])
+    b = artifact([run("renamed_corridor")])
+    code, out, err = compare(a, b)
+    assert code == 3, (code, out, err)
+    assert "no shared" in err
+    assert "corridor" not in out  # no table was printed
+
+
+def test_two_empty_artifacts_are_a_named_error():
+    code, _, err = compare(artifact([]), artifact([]))
+    assert code == 3, err
+    assert "no shared" in err
+
+
+def test_zero_baseline_is_excluded_by_name_not_reported_as_inf():
+    # The historical bug: a zero baseline median produced an "infx"
+    # speedup row and poisoned the summary statistics.
+    a = artifact([run("corridor", sps=0.0), run("doorway", sps=100.0)])
+    b = artifact([run("corridor", sps=50.0), run("doorway", sps=110.0)])
+    code, out, err = compare(a, b)
+    assert code == 0, (out, err)
+    assert "inf" not in out
+    assert "zero baseline" in err
+    assert "corridor" in err  # the excluded combination is named
+    assert "1.10x" in out  # the healthy combination still compared
+
+
+def test_all_zero_baselines_is_a_named_error():
+    a = artifact([run("corridor", sps=0.0)])
+    b = artifact([run("corridor", sps=50.0)])
+    code, _, err = compare(a, b)
+    assert code == 3, err
+    assert "zero baseline" in err
+
+
+def test_regress_gate_trips_exit_1():
+    a = artifact([run("corridor", sps=100.0)])
+    b = artifact([run("corridor", sps=50.0)])
+    code, out, _ = compare(a, b, flags=("--fail-on-regress=15",))
+    assert code == 1, out
+    assert "FAIL" in out
+
+
+def test_regress_gate_passes_within_threshold():
+    a = artifact([run("corridor", sps=100.0)])
+    b = artifact([run("corridor", sps=95.0)])
+    code, out, _ = compare(a, b, flags=("--fail-on-regress=15",))
+    assert code == 0, out
+
+
+def test_schema_mismatch_is_exit_2():
+    a = artifact([run("corridor")], schema="something-else")
+    b = artifact([run("corridor")])
+    code, _, err = compare(a, b)
+    assert code == 2, err
+    assert "unexpected schema" in err
+
+
+def test_unparseable_json_is_exit_2():
+    b = artifact([run("corridor")])
+    code, _, err = compare("{not json", b)
+    assert code == 2, err
+    assert "not valid JSON" in err
+
+
+def test_aggregates_preferred_over_raw_runs():
+    # When the artifact carries precomputed medians they win over the
+    # raw runs (which may be a different number).
+    a = artifact(
+        [run("corridor", sps=999.0)],
+        aggregates=[
+            {
+                "scenario": "corridor",
+                "engine": "cpu",
+                "model": "lem",
+                "threads": 1,
+                "median_steps_per_s": 100.0,
+            }
+        ],
+    )
+    b = artifact([run("corridor", sps=200.0)])
+    code, out, _ = compare(a, b)
+    assert code == 0, out
+    assert "2.00x" in out
+
+
+def main():
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as e:
+                failures += 1
+                print(f"FAIL {name}: {e}")
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all bench_compare checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
