@@ -160,6 +160,83 @@ struct SpeedConfig {
     bool operator==(const SpeedConfig&) const = default;
 };
 
+/// One no-show/drop-out rule: each agent of `group` independently fails to
+/// participate with probability `probability`, drawn from the dedicated
+/// Stage::kPerturbation stream keyed on the agent index (so the draw never
+/// consumes — or reorders — any placement/movement stream). With
+/// `last_step == 0` a selected agent is retired at placement (never enters
+/// the grid); otherwise it drops out at a seeded step uniform in
+/// [1, last_step] (commuter who gives up / leaves early).
+struct NoShowSpec {
+    std::uint8_t group = 0;      ///< 1 = top, 2 = bottom
+    double probability = 0.0;    ///< in [0, 1]
+    std::uint64_t last_step = 0; ///< 0 = retire at placement
+
+    bool operator==(const NoShowSpec&) const = default;
+};
+
+/// Per-group speed class: agents of `group` act only on the fraction of
+/// steps selected by a fixed-point Bresenham gate (integer math — the
+/// same steps on every backend). `fraction == 1` is a no-op; composes
+/// with (and is independent of) the seeded SpeedConfig slow agents.
+struct SpeedClassSpec {
+    std::uint8_t group = 0;  ///< 1 = top, 2 = bottom
+    double fraction = 1.0;   ///< in (0, 1]: share of steps the agent acts
+
+    bool operator==(const SpeedClassSpec&) const = default;
+};
+
+/// Waypoint dwell: an agent of `group` reaching a waypoint is held there
+/// for `steps` steps (boarding / service time) before its chain advances.
+struct DwellSpec {
+    std::uint8_t group = 0;   ///< 1 = top, 2 = bottom
+    std::uint64_t steps = 1;  ///< hold duration, >= 1
+
+    bool operator==(const DwellSpec&) const = default;
+};
+
+/// Spawn-rate surge: at the START of step `step`, `count` extra agents of
+/// `group` are injected onto the walkable cells of the inclusive rect
+/// [row0, row1] x [col0, col1], sampled with the same partial-Fisher-Yates
+/// placement primitive as regions but from a Stage::kPerturbation stream
+/// keyed on the surge's authored index. Property rows are pre-allocated at
+/// construction, so engine buffers never resize mid-run.
+struct SurgeSpec {
+    std::uint64_t step = 1;  ///< firing step, >= 1
+    std::uint8_t group = 0;  ///< 1 = top, 2 = bottom
+    std::uint32_t count = 0;
+    int row0 = 0;
+    int col0 = 0;
+    int row1 = 0;
+    int col1 = 0;
+
+    bool operator==(const SurgeSpec&) const = default;
+};
+
+/// Deterministic perturbation layer (fault injection for scenarios). All
+/// randomness comes from Stage::kPerturbation streams, so with this config
+/// empty every existing stream — and therefore every golden fingerprint —
+/// is byte-identical to a build without the layer.
+struct PerturbationConfig {
+    std::vector<NoShowSpec> no_shows;   ///< at most one per group
+    std::vector<SpeedClassSpec> speeds; ///< at most one per group
+    std::vector<DwellSpec> dwells;      ///< at most one per group
+    std::vector<SurgeSpec> surges;      ///< fired in authored order
+
+    [[nodiscard]] bool empty() const {
+        return no_shows.empty() && speeds.empty() && dwells.empty() &&
+               surges.empty();
+    }
+    /// Total extra property rows the surges can inject.
+    [[nodiscard]] std::size_t surge_total() const {
+        std::size_t n = 0;
+        for (const auto& s : surges) n += s.count;
+        return n;
+    }
+
+    bool operator==(const PerturbationConfig&) const = default;
+};
+
 /// Separated scanning and movement ranges (future work: "separating the
 /// scanning ranges and moving ranges of the pedestrians"). Movement stays
 /// one cell, but candidates are scored with a look-ahead: the occupancy of
@@ -235,6 +312,10 @@ struct SimConfig {
     SpeedConfig speed;
     ScanConfig scan;
 
+    /// Fault-injection layer (no-shows, speed classes, dwell, surges);
+    /// empty (the default) reproduces the unperturbed run bit-exactly.
+    PerturbationConfig perturb;
+
     /// Timed wall events, applied at step boundaries in firing order
     /// (stable-sorted by step). Any door event switches the engines to
     /// phase-cached geodesic distance fields (core::DoorSchedule): one
@@ -288,8 +369,11 @@ struct SimConfig {
         return effective_band_rows();
     }
     [[nodiscard]] std::size_t total_agents() const {
-        if (layout.spawns.empty()) return 2 * agents_per_side;
-        std::size_t n = 0;
+        // Surge-injected agents occupy pre-allocated property rows from
+        // construction, so they count toward the population even though
+        // they activate mid-run. No-show retirees keep their rows.
+        std::size_t n = perturb.surge_total();
+        if (layout.spawns.empty()) return n + 2 * agents_per_side;
         for (const auto& s : layout.spawns) n += s.count;
         return n;
     }

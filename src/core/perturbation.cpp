@@ -1,0 +1,79 @@
+#include "core/perturbation.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace pedsim::core {
+
+namespace {
+
+void check_group(const char* what, std::size_t k, std::uint8_t group,
+                 std::array<bool, 3>& seen) {
+    if (group != 1 && group != 2) {
+        throw std::invalid_argument(std::string(what) + " " +
+                                    std::to_string(k) +
+                                    ": group must be 1 (top) or 2 (bottom)");
+    }
+    if (seen[group]) {
+        throw std::invalid_argument(std::string(what) + " " +
+                                    std::to_string(k) + ": duplicate spec " +
+                                    "for group " + std::to_string(group));
+    }
+    seen[group] = true;
+}
+
+}  // namespace
+
+void validate_perturbations(const PerturbationConfig& perturb,
+                            const grid::GridConfig& grid) {
+    std::array<bool, 3> noshow_seen{};
+    for (std::size_t k = 0; k < perturb.no_shows.size(); ++k) {
+        const auto& s = perturb.no_shows[k];
+        check_group("noshow", k, s.group, noshow_seen);
+        if (!(s.probability >= 0.0 && s.probability <= 1.0)) {
+            throw std::invalid_argument(
+                "noshow " + std::to_string(k) +
+                ": probability must be in [0, 1]");
+        }
+    }
+    std::array<bool, 3> speed_seen{};
+    for (std::size_t k = 0; k < perturb.speeds.size(); ++k) {
+        const auto& s = perturb.speeds[k];
+        check_group("speed class", k, s.group, speed_seen);
+        if (!(s.fraction > 0.0 && s.fraction <= 1.0)) {
+            throw std::invalid_argument(
+                "speed class " + std::to_string(k) +
+                ": fraction must be in (0, 1]");
+        }
+    }
+    std::array<bool, 3> dwell_seen{};
+    for (std::size_t k = 0; k < perturb.dwells.size(); ++k) {
+        const auto& s = perturb.dwells[k];
+        check_group("dwell", k, s.group, dwell_seen);
+        if (s.steps == 0) {
+            throw std::invalid_argument("dwell " + std::to_string(k) +
+                                        ": steps must be >= 1");
+        }
+    }
+    for (std::size_t k = 0; k < perturb.surges.size(); ++k) {
+        const auto& s = perturb.surges[k];
+        if (s.group != 1 && s.group != 2) {
+            throw std::invalid_argument(
+                "surge " + std::to_string(k) +
+                ": group must be 1 (top) or 2 (bottom)");
+        }
+        if (s.step == 0) {
+            throw std::invalid_argument(
+                "surge " + std::to_string(k) +
+                ": step must be >= 1 (placement owns step 0)");
+        }
+        if (s.row1 < s.row0 || s.col1 < s.col0 || s.row0 < 0 ||
+            s.col0 < 0 || s.row1 >= grid.rows || s.col1 >= grid.cols) {
+            throw std::invalid_argument("surge " + std::to_string(k) +
+                                        ": rect off-grid or inverted");
+        }
+    }
+}
+
+}  // namespace pedsim::core

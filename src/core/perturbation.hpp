@@ -1,0 +1,20 @@
+// Validation for the deterministic perturbation layer (PerturbationConfig):
+// the fault-injection axes — no-shows, speed classes, waypoint dwell,
+// spawn surges — that turn clean evacuations into station/stadium traffic.
+// Shared by the scenario parser and the engines, so a config that parses
+// is a config that runs.
+#pragma once
+
+#include "core/config.hpp"
+
+namespace pedsim::core {
+
+/// Validate a perturbation config against the grid: groups in {1, 2} with
+/// at most one no-show/speed/dwell spec per group, probabilities in
+/// [0, 1], speed fractions in (0, 1], dwell steps >= 1, surge rects
+/// on-grid with step >= 1. Throws std::invalid_argument naming the
+/// offending spec.
+void validate_perturbations(const PerturbationConfig& perturb,
+                            const grid::GridConfig& grid);
+
+}  // namespace pedsim::core

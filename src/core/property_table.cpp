@@ -2,8 +2,9 @@
 
 namespace pedsim::core {
 
-PropertyTable::PropertyTable(const std::vector<grid::PlacedAgent>& agents)
-    : count_(agents.size()) {
+PropertyTable::PropertyTable(const std::vector<grid::PlacedAgent>& agents,
+                             std::size_t extra_rows)
+    : count_(agents.size() + extra_rows) {
     const std::size_t n = count_ + 1;
     group.assign(n, 0);
     row.assign(n, 0);
@@ -17,6 +18,7 @@ PropertyTable::PropertyTable(const std::vector<grid::PlacedAgent>& agents)
     panicked.assign(n, 0);
     speed_class.assign(n, 0);
     waypoint.assign(n, 0);
+    dwell_until.assign(n, 0);
     for (const auto& a : agents) {
         const auto i = static_cast<std::size_t>(a.index);
         group[i] = static_cast<std::uint8_t>(a.group);

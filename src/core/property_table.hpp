@@ -19,7 +19,12 @@ inline constexpr std::int32_t kNoFuture = -1;
 
 class PropertyTable {
   public:
-    explicit PropertyTable(const std::vector<grid::PlacedAgent>& agents);
+    /// `extra_rows` appends inactive placeholder rows after the placed
+    /// agents (all-zero, row/col 0): pre-allocated capacity for agents a
+    /// spawn surge injects mid-run, so engine buffers sized off rows()
+    /// never resize while stepping.
+    explicit PropertyTable(const std::vector<grid::PlacedAgent>& agents,
+                           std::size_t extra_rows = 0);
 
     [[nodiscard]] std::size_t agent_count() const { return count_; }
     /// Rows including the dump row 0.
@@ -42,6 +47,9 @@ class PropertyTable {
     /// chain length once every waypoint has been visited (chains are
     /// validated to at most 255 entries). Monotone non-decreasing.
     std::vector<std::uint8_t> waypoint;
+    /// Waypoint dwell hold: 0 = not dwelling; otherwise the first step at
+    /// which the agent may act again (it proposes no move before then).
+    std::vector<std::uint64_t> dwell_until;
 
     [[nodiscard]] grid::Group group_of(std::int32_t i) const {
         return static_cast<grid::Group>(group[static_cast<std::size_t>(i)]);

@@ -1,8 +1,10 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
+#include "core/perturbation.hpp"
 #include "core/rules.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -45,12 +47,13 @@ Simulator::Simulator(const SimConfig& config,
       df_(&doors_->field_after(0)),
       blend_(df_),
       placed_(init_agents(env_, config_)),
-      props_(placed_),
-      scan_(placed_.size()) {
+      props_(placed_, config_.perturb.surge_total()),
+      scan_(placed_.size() + config_.perturb.surge_total()) {
     if (config_.model == Model::kAco) {
         pher_ = std::make_unique<PheromoneField>(
             config_.grid, config_.aco.tau0, config_.aco.tau_min);
     }
+    init_perturbations();
     // Heterogeneous speeds: a seeded fraction of agents is slow.
     if (config_.speed.slow_fraction > 0.0) {
         for (std::size_t i = 1; i < props_.rows(); ++i) {
@@ -81,9 +84,126 @@ Simulator::Simulator(const SimConfig& config,
         }
         for (std::size_t i = 1; i < props_.rows(); ++i) {
             if (props_.active[i] != 0) {
-                advance_waypoints(static_cast<std::int32_t>(i));
+                advance_waypoints(static_cast<std::int32_t>(i),
+                                  /*next_step=*/0);
             }
         }
+    }
+}
+
+void Simulator::init_perturbations() {
+    const PerturbationConfig& p = config_.perturb;
+    if (p.empty()) return;
+    validate_perturbations(p, config_.grid);
+    for (const auto& s : p.speeds) {
+        // 32.32 fixed point; fraction 1 never gates, so store the
+        // "no gate" sentinel and skip the per-agent arithmetic.
+        speed_gate_q_[s.group] =
+            s.fraction >= 1.0
+                ? 0
+                : static_cast<std::uint64_t>(
+                      std::llround(s.fraction * 4294967296.0));
+    }
+    for (const auto& s : p.dwells) {
+        dwell_steps_[s.group] = s.steps;
+        dwell_enabled_ = true;
+    }
+    // No-shows draw one Stage::kPerturbation stream per agent — keyed on
+    // the agent index alone, so the draws are independent of iteration
+    // order and of every other stage's streams.
+    for (const auto& s : p.no_shows) {
+        if (s.probability <= 0.0) continue;
+        for (const auto& a : placed_) {
+            if (static_cast<std::uint8_t>(a.group) != s.group) continue;
+            rng::Stream stream(config_.seed, rng::Stage::kPerturbation,
+                               static_cast<std::uint64_t>(a.index),
+                               /*step=*/0);
+            if (stream.next_double() >= s.probability) continue;
+            if (s.last_step == 0) {
+                // True no-show: never enters the grid.
+                const auto idx = static_cast<std::size_t>(a.index);
+                env_.clear(props_.row[idx], props_.col[idx]);
+                props_.active[idx] = 0;
+                ++perturb_retired_;
+            } else {
+                const std::uint64_t at =
+                    1 + stream.next_below(static_cast<std::uint32_t>(
+                            std::min<std::uint64_t>(s.last_step, 0xFFFFFFFFu)));
+                drops_.emplace_back(at, a.index);
+            }
+        }
+    }
+    std::sort(drops_.begin(), drops_.end());
+    // Surges fire in step order but keep their authored index for stream
+    // keying and their authored-order property-row block.
+    surge_base_.reserve(p.surges.size());
+    auto base = static_cast<std::int32_t>(placed_.size()) + 1;
+    for (const auto& s : p.surges) {
+        surge_base_.push_back(base);
+        base += static_cast<std::int32_t>(s.count);
+        surge_order_.push_back(
+            static_cast<std::uint32_t>(surge_order_.size()));
+    }
+    std::stable_sort(surge_order_.begin(), surge_order_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return p.surges[a].step < p.surges[b].step;
+                     });
+}
+
+void Simulator::fire_due_drops() {
+    while (next_drop_ < drops_.size() && drops_[next_drop_].first <= step_) {
+        const auto idx =
+            static_cast<std::size_t>(drops_[next_drop_].second);
+        ++next_drop_;
+        // Already gone (crossed and exited, door-swept): nothing to do.
+        if (props_.active[idx] == 0) continue;
+        env_.clear(props_.row[idx], props_.col[idx]);
+        props_.active[idx] = 0;
+        props_.dwell_until[idx] = 0;
+        ++perturb_retired_;
+        on_cells_changed(props_.row[idx], props_.row[idx]);
+    }
+}
+
+void Simulator::fire_due_surges() {
+    const auto& surges = config_.perturb.surges;
+    while (next_surge_ < surge_order_.size() &&
+           surges[surge_order_[next_surge_]].step <= step_) {
+        const std::uint32_t k = surge_order_[next_surge_];
+        ++next_surge_;
+        const SurgeSpec& s = surges[k];
+        // Walkable rect cells in place_regions' iteration order, sampled
+        // with the shared partial-Fisher-Yates primitive.
+        std::vector<std::uint32_t> ids;
+        for (int r = s.row0; r <= s.row1; ++r) {
+            for (int c = s.col0; c <= s.col1; ++c) {
+                if (env_.walkable(r, c)) {
+                    ids.push_back(static_cast<std::uint32_t>(env_.flat(r, c)));
+                }
+            }
+        }
+        const auto n = std::min<std::size_t>(s.count, ids.size());
+        rng::Stream stream(config_.seed, rng::Stage::kPerturbation,
+                           /*entity=*/k, /*step=*/1);
+        const auto cells = grid::sample_cells(n, std::move(ids), stream);
+        for (std::size_t j = 0; j < cells.size(); ++j) {
+            const int row = static_cast<int>(cells[j]) / config_.grid.cols;
+            const int col = static_cast<int>(cells[j]) % config_.grid.cols;
+            const std::int32_t i = surge_base_[k] + static_cast<std::int32_t>(j);
+            const auto idx = static_cast<std::size_t>(i);
+            env_.place(row, col, static_cast<grid::Group>(s.group), i);
+            props_.group[idx] = s.group;
+            props_.row[idx] = row;
+            props_.col[idx] = col;
+            props_.active[idx] = 1;
+            ++perturb_spawned_;
+            if (config_.layout.has_waypoints()) {
+                advance_waypoints(i, /*next_step=*/step_);
+            }
+        }
+        obs::MetricsRegistry::add("perturb.surge_agents",
+                                  static_cast<std::uint64_t>(cells.size()));
+        on_cells_changed(s.row0, s.row1);
     }
 }
 
@@ -144,6 +264,20 @@ bool Simulator::decide_future(std::int32_t i) {
             static_cast<std::uint64_t>(std::max(config_.speed.slow_period, 1));
         if ((step_ + idx) % period != 0) return false;
     }
+
+    // Perturbation speed class: the agent acts only on the steps a 32.32
+    // fixed-point Bresenham gate selects for its group (integer math, so
+    // every backend picks the same steps; idx phase-shifts agents so a
+    // class never moves in lockstep). Checked before any stream exists —
+    // a gated-out step consumes no draws.
+    if (const std::uint64_t q = speed_gate_q_[props_.group[idx]]; q != 0) {
+        const std::uint64_t t = step_ + idx;
+        if ((((t + 1) * q) >> 32) <= ((t * q) >> 32)) return false;
+    }
+
+    // Waypoint dwell: held at a service point until the hold expires (the
+    // shared finish_step clears dwell_until — also before any draw).
+    if (props_.dwell_until[idx] != 0) return false;
 
     // Panicked agents flee on the rank draw over the flee-sorted scan row;
     // goal, forward priority and pheromone do not apply while fleeing.
@@ -306,6 +440,17 @@ StepResult Simulator::step() {
         obs::Span s("step/door_events");
         fire_due_doors();
     }
+    // Perturbations fire at the same boundary, after doors (so a drop or
+    // surge sees the step's final geometry) and before any stage reads
+    // the environment — identical on every backend and thread count.
+    if (next_drop_ < drops_.size()) {
+        obs::Span s("step/perturb_drops");
+        fire_due_drops();
+    }
+    if (next_surge_ < surge_order_.size()) {
+        obs::Span s("step/perturb_surges");
+        fire_due_surges();
+    }
     {
         obs::Span s("step/anticipate");
         update_anticipation();
@@ -391,12 +536,41 @@ void Simulator::finish_step(const std::vector<Move>& moves,
     // the target edge are done — but only once their chain is complete
     // (an agent standing on its goal mid-chain keeps routing).
     const int margin = config_.effective_cross_margin();
-    for (const auto& m : moves) {
-        const auto idx = static_cast<std::size_t>(m.agent);
-        if (props_.crossed[idx] != 0) continue;
-        result.waypoint_advances += advance_waypoints(m.agent);
-        if (waypoint_pending(m.agent)) continue;
-        const grid::Group g = props_.group_of(m.agent);
+    if (!dwell_enabled_) {
+        for (const auto& m : moves) {
+            const auto idx = static_cast<std::size_t>(m.agent);
+            if (props_.crossed[idx] != 0) continue;
+            result.waypoint_advances += advance_waypoints(m.agent, step_ + 1);
+            if (waypoint_pending(m.agent)) continue;
+            const grid::Group g = props_.group_of(m.agent);
+            if (!df_->crossed_at(g, props_.row[idx], props_.col[idx],
+                                 margin)) {
+                continue;
+            }
+            props_.crossed[idx] = 1;
+            if (g == grid::Group::kTop) {
+                ++crossed_top_;
+                ++result.crossed_top;
+            } else {
+                ++crossed_bottom_;
+                ++result.crossed_bottom;
+            }
+            if (config_.exit_on_cross) {
+                env_.clear(props_.row[idx], props_.col[idx]);
+                props_.active[idx] = 0;
+            }
+        }
+        return;
+    }
+    // With dwell enabled, a holding agent makes progress (hold expiry,
+    // chain advance, even crossing) without having moved, so every active
+    // agent — not just this step's movers — runs the epilogue.
+    for (std::size_t idx = 1; idx < props_.rows(); ++idx) {
+        if (props_.active[idx] == 0 || props_.crossed[idx] != 0) continue;
+        const auto i = static_cast<std::int32_t>(idx);
+        result.waypoint_advances += advance_waypoints(i, step_ + 1);
+        if (waypoint_pending(i)) continue;
+        const grid::Group g = props_.group_of(i);
         if (!df_->crossed_at(g, props_.row[idx], props_.col[idx], margin)) {
             continue;
         }
@@ -411,6 +585,10 @@ void Simulator::finish_step(const std::vector<Move>& moves,
         if (config_.exit_on_cross) {
             env_.clear(props_.row[idx], props_.col[idx]);
             props_.active[idx] = 0;
+            // An agent can cross the instant its last dwell expires —
+            // without a move — so replicating backends must be told this
+            // cell changed (mover-row marking would miss it).
+            on_cells_changed(props_.row[idx], props_.row[idx]);
         }
     }
 }
@@ -441,12 +619,13 @@ int Simulator::waypoint_forward_neighbor(std::int32_t i, grid::Group g,
     return env_.walkable(r + off.dr, c + off.dc) ? best_k : -1;
 }
 
-int Simulator::advance_waypoints(std::int32_t i) {
+int Simulator::advance_waypoints(std::int32_t i, std::uint64_t next_step) {
     const auto idx = static_cast<std::size_t>(i);
     const auto& chain = chain_for(props_.group_of(i));
     if (chain.empty()) return 0;
     const int radius = config_.layout.waypoint_radius;
     const auto& cells = doors_->waypoint_cells();
+    const std::uint64_t dwell = dwell_steps_[props_.group[idx]];
     int advanced = 0;
     while (props_.waypoint[idx] < chain.size()) {
         const auto cell = cells[chain[props_.waypoint[idx]]];
@@ -457,6 +636,19 @@ int Simulator::advance_waypoints(std::int32_t i) {
         if (std::max(std::abs(props_.row[idx] - wr),
                      std::abs(props_.col[idx] - wc)) > radius) {
             break;
+        }
+        // Dwell: the first arrival at a waypoint starts a hold of `dwell`
+        // steps (the agent proposes no move until next_step reaches
+        // dwell_until); the chain advances only once the hold expires.
+        // Clustered waypoints each take their own hold — every service
+        // point charges its service time.
+        if (dwell > 0) {
+            if (props_.dwell_until[idx] == 0) {
+                props_.dwell_until[idx] = next_step + dwell;
+                break;
+            }
+            if (next_step < props_.dwell_until[idx]) break;
+            props_.dwell_until[idx] = 0;
         }
         ++props_.waypoint[idx];
         ++advanced;

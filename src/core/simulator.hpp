@@ -9,8 +9,10 @@
 // the property behind the paper's Fig. 6b CPU-vs-GPU validation.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -133,6 +135,15 @@ class Simulator {
     }
     /// Agents removed because a door closed on their cell.
     [[nodiscard]] std::size_t door_retired() const { return door_retired_; }
+    /// Agents retired by the no-show/drop-out perturbation (at placement
+    /// or at their seeded drop step).
+    [[nodiscard]] std::size_t perturb_retired() const {
+        return perturb_retired_;
+    }
+    /// Agents injected by spawn-rate surges so far.
+    [[nodiscard]] std::size_t perturb_spawned() const {
+        return perturb_spawned_;
+    }
     /// Null for LEM runs.
     [[nodiscard]] const PheromoneField* pheromone() const {
         return pher_.get();
@@ -252,14 +263,53 @@ class Simulator {
                                                 int c) const;
     /// Advance agent i's waypoint index past every chain entry within the
     /// Chebyshev arrival radius of its current position (clustered
-    /// waypoints can advance several at once). Pure in (position, chain),
-    /// called from the shared finish_step (and once at construction for
-    /// agents spawned inside a radius), so engines and thread counts
-    /// agree. Returns the number of advances.
-    int advance_waypoints(std::int32_t i);
+    /// waypoints can advance several at once). Pure in (position, chain,
+    /// dwell state), called from the shared finish_step (and once at
+    /// construction for agents spawned inside a radius), so engines and
+    /// thread counts agree. `next_step` is the first step the agent could
+    /// act after this call — it anchors the dwell hold: a group with a
+    /// DwellSpec holds the agent at each reached waypoint for the spec's
+    /// duration (dwell_until) before the chain advances. Returns the
+    /// number of advances.
+    int advance_waypoints(std::int32_t i, std::uint64_t next_step);
+
+    /// Seed the perturbation layer at construction: per-group speed gates
+    /// and dwell durations, the sorted timed-drop list (retiring
+    /// at-placement no-shows immediately), and the surge firing order
+    /// with per-surge property-row bases.
+    void init_perturbations();
+    /// Retire every agent whose seeded drop step is due (fault-injection
+    /// no-shows with last_step > 0). Host-thread, step-boundary — same
+    /// contract as fire_due_doors.
+    void fire_due_drops();
+    /// Inject every surge due this step: sample walkable rect cells with
+    /// the shared placement primitive (Stage::kPerturbation stream keyed
+    /// on the surge's authored index) into pre-allocated property rows.
+    /// A surge finding fewer walkable cells than its count injects what
+    /// fits — deterministically, since every backend sees the same
+    /// environment.
+    void fire_due_surges();
 
     std::size_t next_door_ = 0;
     std::size_t door_retired_ = 0;
+
+    // Perturbation state (empty config leaves all of it inert).
+    /// Per-group act-fraction as a 32.32 fixed-point step gate; 0 = no
+    /// gate. Indexed by the group byte (1 = top, 2 = bottom).
+    std::array<std::uint64_t, 3> speed_gate_q_{0, 0, 0};
+    /// Per-group waypoint dwell duration; 0 = no dwell. Group-byte index.
+    std::array<std::uint64_t, 3> dwell_steps_{0, 0, 0};
+    bool dwell_enabled_ = false;
+    /// Seeded timed drops, sorted by (step, agent).
+    std::vector<std::pair<std::uint64_t, std::int32_t>> drops_;
+    std::size_t next_drop_ = 0;
+    /// Authored-surge indices in firing order (stable-sorted by step).
+    std::vector<std::uint32_t> surge_order_;
+    std::size_t next_surge_ = 0;
+    /// First property row of each authored surge's pre-allocated block.
+    std::vector<std::int32_t> surge_base_;
+    std::size_t perturb_retired_ = 0;
+    std::size_t perturb_spawned_ = 0;
 };
 
 }  // namespace pedsim::core

@@ -19,10 +19,6 @@ int required_band_rows(std::size_t agents, int cols, double max_fill) {
     return std::max(rows, 1);
 }
 
-namespace {
-
-/// Sample `count` distinct entries of `ids` via a partial Fisher-Yates —
-/// deterministic in the stream. `ids` is consumed in place.
 std::vector<std::uint32_t> sample_cells(std::size_t count,
                                         std::vector<std::uint32_t> ids,
                                         rng::Stream& stream) {
@@ -34,8 +30,6 @@ std::vector<std::uint32_t> sample_cells(std::size_t count,
     ids.resize(count);
     return ids;
 }
-
-}  // namespace
 
 std::vector<PlacedAgent> place_bidirectional(Environment& env,
                                              const PlacementConfig& cfg) {

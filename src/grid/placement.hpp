@@ -32,6 +32,23 @@ struct PlacementConfig {
 /// Rows needed for `agents` agents across `cols` columns at `max_fill`.
 int required_band_rows(std::size_t agents, int cols, double max_fill);
 
+}  // namespace pedsim::grid
+
+namespace pedsim::rng {
+class Stream;
+}
+
+namespace pedsim::grid {
+
+/// Sample `count` distinct entries of `ids` via a partial Fisher-Yates —
+/// deterministic in the stream, `ids` consumed in place. The placement
+/// primitive shared by bands, regions and mid-run surge injection (the
+/// perturbation layer), so every population draw uses one sampling
+/// discipline. Requires count <= ids.size().
+std::vector<std::uint32_t> sample_cells(std::size_t count,
+                                        std::vector<std::uint32_t> ids,
+                                        rng::Stream& stream);
+
 /// Randomly place both groups into `env` and return the agents in index
 /// order. Static walls may already be present: band cells under a wall are
 /// excluded from the sample (with no walls the candidate list — and hence

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/door_schedule.hpp"
+#include "core/perturbation.hpp"
 #include "io/strict_parse.hpp"
 
 namespace pedsim::io {
@@ -176,6 +177,58 @@ void apply_key(scenario::Scenario& s, ParseState& st, const std::string& key,
         sim.speed.slow_fraction = to_double(key, value);
     } else if (key == "slow_period") {
         sim.speed.slow_period = static_cast<int>(to_int(key, value));
+    } else if (key == "noshow") {
+        const auto f = split_ws(value);
+        if (f.size() != 3) {
+            throw std::invalid_argument(
+                "scenario: noshow wants 'group probability last_step'");
+        }
+        core::NoShowSpec n;
+        n.group = static_cast<std::uint8_t>(to_group(f[0]));
+        n.probability = to_double(key, f[1]);
+        n.last_step = to_step(key, f[2]);
+        sim.perturb.no_shows.push_back(n);
+    } else if (key == "speed") {
+        const auto f = split_ws(value);
+        if (f.size() != 2) {
+            throw std::invalid_argument(
+                "scenario: speed wants 'group fraction'");
+        }
+        core::SpeedClassSpec c;
+        c.group = static_cast<std::uint8_t>(to_group(f[0]));
+        c.fraction = to_double(key, f[1]);
+        sim.perturb.speeds.push_back(c);
+    } else if (key == "dwell") {
+        const auto f = split_ws(value);
+        if (f.size() != 2) {
+            throw std::invalid_argument("scenario: dwell wants 'group steps'");
+        }
+        core::DwellSpec d;
+        d.group = static_cast<std::uint8_t>(to_group(f[0]));
+        d.steps = to_step(key, f[1]);
+        sim.perturb.dwells.push_back(d);
+    } else if (key == "surge") {
+        const auto f = split_ws(value);
+        if (f.size() != 7) {
+            throw std::invalid_argument(
+                "scenario: surge wants 'step group count row0 col0 row1 "
+                "col1'");
+        }
+        core::SurgeSpec g;
+        g.step = to_step(key, f[0]);
+        g.group = static_cast<std::uint8_t>(to_group(f[1]));
+        const long long count = to_int(key, f[2]);
+        if (count < 0 ||
+            count > std::numeric_limits<std::uint32_t>::max()) {
+            throw std::invalid_argument(
+                "scenario: surge count out of range: '" + f[2] + "'");
+        }
+        g.count = static_cast<std::uint32_t>(count);
+        g.row0 = to_int32(key, f[3]);
+        g.col0 = to_int32(key, f[4]);
+        g.row1 = to_int32(key, f[5]);
+        g.col1 = to_int32(key, f[6]);
+        sim.perturb.surges.push_back(g);
     } else if (key == "panic") {
         const auto f = split_ws(value);
         if (f.size() != 4) {
@@ -426,6 +479,8 @@ scenario::Scenario parse_scenario(const std::string& text) {
     // redo it at setup.
     core::expand_dynamic_events(s.sim.doors, s.sim.cycles, s.sim.movers,
                                 s.sim.grid);
+    // Same late-validation rationale: surge rects need the final grid.
+    core::validate_perturbations(s.sim.perturb, s.sim.grid);
     return s;
 }
 
@@ -472,6 +527,26 @@ std::string to_text_canonical(const scenario::Scenario& s) {
        << "\n";
     os << "slow_fraction = " << fmt_double(sim.speed.slow_fraction) << "\n";
     os << "slow_period = " << sim.speed.slow_period << "\n";
+    // Perturbation lines only when present, so perturbation-free files
+    // stay byte-identical to the pre-fault-injection serializer.
+    for (const auto& n : sim.perturb.no_shows) {
+        os << "noshow = " << group_name(static_cast<grid::Group>(n.group))
+           << " " << fmt_double(n.probability) << " " << n.last_step << "\n";
+    }
+    for (const auto& c : sim.perturb.speeds) {
+        os << "speed = " << group_name(static_cast<grid::Group>(c.group))
+           << " " << fmt_double(c.fraction) << "\n";
+    }
+    for (const auto& d : sim.perturb.dwells) {
+        os << "dwell = " << group_name(static_cast<grid::Group>(d.group))
+           << " " << d.steps << "\n";
+    }
+    for (const auto& g : sim.perturb.surges) {
+        os << "surge = " << g.step << " "
+           << group_name(static_cast<grid::Group>(g.group)) << " " << g.count
+           << " " << g.row0 << " " << g.col0 << " " << g.row1 << " " << g.col1
+           << "\n";
+    }
     if (sim.panic.enabled) {
         os << "panic = " << sim.panic.trigger_step << " " << sim.panic.row
            << " " << sim.panic.col << " " << fmt_double(sim.panic.radius)

@@ -20,6 +20,9 @@ enum class Stage : std::uint32_t {
     kMovement,           ///< scatter-to-gather winner selection
     kGeneric,            ///< library users / examples
     kAnts,               ///< classic Ant System (TSP substrate)
+    kPerturbation,       ///< fault-injection layer: no-show draws, surge
+                         ///< placement (isolated so perturbations-off runs
+                         ///< consume exactly the seed's streams)
 };
 
 /// A deterministic random stream: Philox4x32-10 evaluated on an

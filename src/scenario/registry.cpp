@@ -345,6 +345,80 @@ Scenario checkpoint_loop() {
     return s;
 }
 
+/// No-show commute: the small corridor where 20% of the top group never
+/// shows up and 30% of the bottom group drops out at a seeded step in the
+/// first 80 (commuters giving up). All randomness is Stage::kPerturbation,
+/// so the survivors walk exactly the clean run's paths.
+Scenario no_show_commute() {
+    Scenario s;
+    s.name = "no_show_commute";
+    s.description =
+        "64x64 bidirectional corridor where 20% of the top group never "
+        "shows and 30% of the bottom group drops out by step 80";
+    s.sim.grid.rows = s.sim.grid.cols = 64;
+    s.sim.agents_per_side = 400;
+    s.sim.perturb.no_shows.push_back({1, 0.20, 0});
+    s.sim.perturb.no_shows.push_back({2, 0.30, 80});
+    s.default_steps = 300;
+    return s;
+}
+
+/// Platform dwell: the relay-race waypoint slalom with service time — the
+/// top group boards for 12 steps at each checkpoint, the bottom for 6 —
+/// and the top group additionally throttled to 70% walking speed. The
+/// dwell acceptance scenario: chain advancement is driven by hold expiry,
+/// not just movement.
+Scenario platform_dwell() {
+    Scenario s;
+    s.name = "platform_dwell";
+    s.description =
+        "48x48 waypoint slalom where agents dwell at each checkpoint (12 "
+        "steps top / 6 bottom) and the top group walks at 70% speed";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    s.sim.agents_per_side = 100;
+    s.sim.layout.waypoint_radius = 6;
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 12, 14);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 24, 34);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kTop, 36, 14);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 36, 34);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 24, 14);
+    add_waypoint(s.sim.layout, s.sim.grid, grid::Group::kBottom, 12, 34);
+    s.sim.perturb.dwells.push_back({1, 12});
+    s.sim.perturb.dwells.push_back({2, 6});
+    s.sim.perturb.speeds.push_back({1, 0.70});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 300;
+    return s;
+}
+
+/// Surge stadium: a room-evacuation hall whose initial crowd is joined by
+/// two late gate-release waves (steps 40 and 90) injected into the spawn
+/// hall mid-run — the stadium-egress shape where pressure arrives in
+/// pulses rather than all at once.
+Scenario surge_stadium() {
+    Scenario s;
+    s.name = "surge_stadium";
+    s.description =
+        "48x48 walled hall draining through a 4-cell east door; gate "
+        "releases inject 120 agents at step 40 and 80 more at step 90";
+    s.sim.grid.rows = s.sim.grid.cols = 48;
+    s.sim.forward_priority = false;
+    s.sim.cross_margin = 2;
+    add_wall_rect(s.sim.layout, s.sim.grid, 0, 0, 0, 47);
+    add_wall_rect(s.sim.layout, s.sim.grid, 47, 0, 47, 47);
+    add_wall_rect(s.sim.layout, s.sim.grid, 1, 0, 46, 0);
+    add_wall_rect(s.sim.layout, s.sim.grid, 1, 47, 21, 47);
+    add_wall_rect(s.sim.layout, s.sim.grid, 26, 47, 46, 47);
+    add_goal_rect(s.sim.layout, s.sim.grid, grid::Group::kTop, 22, 47, 25,
+                  47);
+    s.sim.layout.spawns.push_back({grid::Group::kTop, 6, 6, 41, 41, 160});
+    s.sim.perturb.surges.push_back({40, 1, 120, 2, 2, 20, 20});
+    s.sim.perturb.surges.push_back({90, 1, 80, 28, 2, 45, 20});
+    canonicalize(s.sim.layout, s.sim.grid);
+    s.default_steps = 500;
+    return s;
+}
+
 using Builder = Scenario (*)();
 
 constexpr std::pair<const char*, Builder> kBuiltins[] = {
@@ -364,6 +438,9 @@ constexpr std::pair<const char*, Builder> kBuiltins[] = {
     {"relay_race", relay_race},
     {"stairwell_evacuation", stairwell_evacuation},
     {"checkpoint_loop", checkpoint_loop},
+    {"no_show_commute", no_show_commute},
+    {"platform_dwell", platform_dwell},
+    {"surge_stadium", surge_stadium},
 };
 
 }  // namespace

@@ -93,7 +93,7 @@ Client::Submission Client::submit(const protocol::JobRequest& req) {
     // The server answers every submit with exactly one accept/reject
     // before reading the session's next frame; frames of other in-flight
     // jobs may arrive first and are folded into the demux state.
-    while (protocol::read_frame(fd_, frame)) {
+    while (protocol::read_frame(fd_, frame, protocol::Direction::kReply)) {
         if (frame.type == protocol::MsgType::kAccepted) {
             const auto acc = protocol::decode_accepted(frame.payload);
             inflight_[acc.job_id].job_id = acc.job_id;
@@ -114,7 +114,8 @@ RemoteResult Client::wait_any() {
             throw std::runtime_error("wait_any: no jobs in flight");
         }
         protocol::Frame frame;
-        if (!protocol::read_frame(fd_, frame)) {
+        if (!protocol::read_frame(fd_, frame,
+                                  protocol::Direction::kReply)) {
             throw std::runtime_error(
                 "server closed the connection with " +
                 std::to_string(inflight_.size()) + " jobs in flight");
@@ -174,7 +175,7 @@ std::vector<RemoteResult> Client::run_batch(
 protocol::StatsMsg Client::stats() {
     protocol::write_frame(fd_, protocol::MsgType::kStats, {});
     protocol::Frame frame;
-    while (protocol::read_frame(fd_, frame)) {
+    while (protocol::read_frame(fd_, frame, protocol::Direction::kReply)) {
         if (frame.type == protocol::MsgType::kStatsReply) {
             return protocol::decode_stats(frame.payload);
         }

@@ -104,11 +104,21 @@ bool read_exact(int fd, std::uint8_t* dst, std::size_t n, bool eof_ok) {
     return true;
 }
 
-bool known_type(std::uint8_t t) {
+}  // namespace
+
+bool known_request_type(std::uint8_t t) {
     switch (static_cast<MsgType>(t)) {
         case MsgType::kSubmit:
         case MsgType::kShutdown:
         case MsgType::kStats:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool known_reply_type(std::uint8_t t) {
+    switch (static_cast<MsgType>(t)) {
         case MsgType::kAccepted:
         case MsgType::kRejected:
         case MsgType::kStep:
@@ -116,20 +126,31 @@ bool known_type(std::uint8_t t) {
         case MsgType::kJobError:
         case MsgType::kStatsReply:
             return true;
+        default:
+            return false;
     }
-    return false;
 }
 
-}  // namespace
-
-bool read_frame(int fd, Frame& out) {
+bool read_frame(int fd, Frame& out, Direction expect) {
     std::uint8_t header[5];
     if (!read_exact(fd, header, sizeof(header), /*eof_ok=*/true)) {
         return false;
     }
-    if (!known_type(header[0])) {
+    if (!known_request_type(header[0]) && !known_reply_type(header[0])) {
         throw ProtocolError("unknown frame type " +
                             std::to_string(int{header[0]}));
+    }
+    // Direction check at the framing layer: a wrong-direction frame is
+    // wire garbage (session-fatal), never decoded or demuxed.
+    if (expect == Direction::kRequest && !known_request_type(header[0])) {
+        throw ProtocolError("wrong-direction frame: reply type " +
+                            std::to_string(int{header[0]}) +
+                            " sent to the server");
+    }
+    if (expect == Direction::kReply && !known_reply_type(header[0])) {
+        throw ProtocolError("wrong-direction frame: request type " +
+                            std::to_string(int{header[0]}) +
+                            " sent to the client");
     }
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {

@@ -105,10 +105,26 @@ class Reader {
 
 // --- Framed socket I/O (blocking, EINTR-safe) ---------------------------
 
-/// Read one frame. Returns false on clean EOF at a frame boundary;
-/// throws ProtocolError on mid-frame EOF or an oversized length, and
-/// std::runtime_error on socket errors.
-bool read_frame(int fd, Frame& out);
+/// Which half of the protocol a reader expects. The type space is split
+/// by direction (requests 1-3, replies 16-21): a server must never accept
+/// a reply frame and a client must never accept a request frame — a
+/// wrong-direction frame used to pass framing and fail later with a
+/// confusing decode error (or be silently mis-handled by a demux switch).
+enum class Direction : std::uint8_t {
+    kRequest,  ///< client -> server (what a server reads)
+    kReply,    ///< server -> client (what a client reads)
+};
+
+/// True when `t` is a client->server frame type.
+bool known_request_type(std::uint8_t t);
+/// True when `t` is a server->client frame type.
+bool known_reply_type(std::uint8_t t);
+
+/// Read one frame, accepting only `expect`-direction types. Returns false
+/// on clean EOF at a frame boundary; throws ProtocolError on mid-frame
+/// EOF, an oversized length, an unknown type, or a known type travelling
+/// the wrong direction; std::runtime_error on socket errors.
+bool read_frame(int fd, Frame& out, Direction expect);
 
 /// Write one frame (header + payload as a single buffered write, so
 /// frames from different writer threads never interleave as long as each

@@ -32,6 +32,11 @@ std::uint64_t steady_ns() {
 /// large enough that a 25k-step run is hundreds of frames, not 25k.
 constexpr std::size_t kStepBatch = 64;
 
+/// Admission cap on the per-job engine-thread override: far above any
+/// sane host, low enough that an absurd request is named at admission
+/// instead of stalling an executor in thread-pool construction.
+constexpr int kMaxEngineThreads = 4096;
+
 }  // namespace
 
 /// Per-connection state. Frames to one client can come from its session
@@ -107,15 +112,46 @@ void Server::bind() {
         throw std::runtime_error(std::string("socket: ") +
                                  std::strerror(errno));
     }
-    ::unlink(opts_.socket_path.c_str());  // stale socket from a dead server
-    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-        throw std::runtime_error("bind " + opts_.socket_path + ": " +
+    // Only a genuinely stale socket (a dead server's leftover) may be
+    // unlinked. Probe with a connect() first: a peer answering means a
+    // live server owns this path, and unlinking would silently steal its
+    // socket out from under it.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+        throw std::runtime_error(std::string("socket: ") +
                                  std::strerror(errno));
     }
+    const int probe_rc = ::connect(
+        probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    const int probe_errno = errno;
+    ::close(probe);
+    if (probe_rc == 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("bind " + opts_.socket_path +
+                                 ": address in use by a running server");
+    }
+    if (probe_errno == ECONNREFUSED) {
+        // Nobody listening behind the file: stale, safe to reclaim.
+        ::unlink(opts_.socket_path.c_str());
+    }
+    // ENOENT (no file) and any other probe failure fall through to
+    // ::bind, which reports the real error on its own terms.
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string err = std::strerror(errno);
+        // Close before throwing: the destructor unlinks the path only for
+        // a bound listener, and this path may belong to someone else.
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("bind " + opts_.socket_path + ": " + err);
+    }
     if (::listen(listen_fd_, 64) != 0) {
-        throw std::runtime_error(std::string("listen: ") +
-                                 std::strerror(errno));
+        const std::string err = std::strerror(errno);
+        ::close(listen_fd_);
+        ::unlink(opts_.socket_path.c_str());
+        listen_fd_ = -1;
+        throw std::runtime_error("listen: " + err);
     }
 }
 
@@ -203,7 +239,11 @@ void Server::serve() {
 void Server::session_loop(std::shared_ptr<Connection> conn) {
     protocol::Frame frame;
     try {
-        while (protocol::read_frame(conn->fd, frame)) {
+        // Direction::kRequest: reply-typed frames (kAccepted, kStep, ...)
+        // arriving at the server are rejected at the framing layer with a
+        // named ProtocolError — they never reach this switch.
+        while (protocol::read_frame(conn->fd, frame,
+                                    protocol::Direction::kRequest)) {
             switch (frame.type) {
                 case protocol::MsgType::kSubmit:
                     handle_submit(conn, frame.payload);
@@ -216,8 +256,8 @@ void Server::session_loop(std::shared_ptr<Connection> conn) {
                     request_stop();
                     break;
                 default:
-                    // Server-to-client types arriving at the server are a
-                    // peer bug; treat as framing garbage.
+                    // Unreachable given the direction check, but a byte
+                    // stream deserves defence in depth.
                     throw protocol::ProtocolError(
                         "unexpected client frame type");
             }
@@ -254,6 +294,21 @@ void Server::handle_submit(const std::shared_ptr<Connection>& conn,
 
     if (req.steps <= 0) {
         reject("steps must be > 0, got " + std::to_string(req.steps));
+        return;
+    }
+    // Admission owns field sanity: a negative band count or thread
+    // override would otherwise travel all the way into device creation /
+    // thread-pool construction and fail there with an unrelated message
+    // (or worse, a wrapped allocation size).
+    if (req.engine.bands < 0) {
+        reject("engine bands must be >= 0, got " +
+               std::to_string(req.engine.bands));
+        return;
+    }
+    if (req.engine_threads < 0 || req.engine_threads > kMaxEngineThreads) {
+        reject("engine_threads must be in [0, " +
+               std::to_string(kMaxEngineThreads) + "], got " +
+               std::to_string(req.engine_threads));
         return;
     }
     if (req.registry && !scenario::has(req.scenario)) {

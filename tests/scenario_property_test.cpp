@@ -155,6 +155,36 @@ scenario::Scenario random_scenario(std::uint64_t index) {
                 safe_rows[draw_int(s, 0, 2)], draw_int(s, 0, cols - 1));
         }
     }
+    // Perturbation axes: at most one spec per group per axis (the
+    // validator's uniqueness rule), every field inside its validated
+    // range. Surges are unrestricted in count and may overlap rects.
+    for (int g = 1; g <= 2; ++g) {
+        const auto group = static_cast<std::uint8_t>(g);
+        if (s.next_below(3) == 0) {
+            sim.perturb.no_shows.push_back(
+                {group, s.next_double(),
+                 static_cast<std::uint64_t>(draw_int(s, 0, 200))});
+        }
+        if (s.next_below(3) == 0) {
+            sim.perturb.speeds.push_back(
+                {group, 0.05 + 0.95 * s.next_double()});
+        }
+        if (s.next_below(3) == 0) {
+            sim.perturb.dwells.push_back(
+                {group, static_cast<std::uint64_t>(draw_int(s, 1, 30))});
+        }
+    }
+    for (int n = draw_int(s, 0, 2); n > 0; --n) {
+        core::SurgeSpec sg;
+        sg.step = static_cast<std::uint64_t>(draw_int(s, 1, 300));
+        sg.group = static_cast<std::uint8_t>(draw_int(s, 1, 2));
+        sg.count = static_cast<std::uint32_t>(draw_int(s, 1, 40));
+        sg.row0 = draw_int(s, 0, rows - 2);
+        sg.col0 = draw_int(s, 0, cols - 2);
+        sg.row1 = draw_int(s, sg.row0, rows - 1);
+        sg.col1 = draw_int(s, sg.col0, cols - 1);
+        sim.perturb.surges.push_back(sg);
+    }
     sim.anticipate.horizon = s.next_below(2) ? draw_int(s, 1, 60) : 0;
     if (s.next_below(2)) {
         sim.panic.enabled = true;
@@ -223,6 +253,70 @@ TEST(ScenarioProperty, GeneratedWaypointChainsSurviveTheRoundTrip) {
     }
     EXPECT_GT(chained, 0);
     EXPECT_GT(nondefault_radius, 0);
+}
+
+TEST(ScenarioProperty, GeneratedPerturbationsSurviveTheRoundTrip) {
+    // The generator exercises every perturbation axis, and each spec
+    // comes back field-exact (probabilities and fractions included — the
+    // %.17g serializer owes us bit-exact doubles).
+    int no_shows = 0, speeds = 0, dwells = 0, surges = 0;
+    for (std::uint64_t i = 0; i < kCases; ++i) {
+        const auto sc = random_scenario(i);
+        const auto back = io::parse_scenario(io::scenario_to_text(sc));
+        ASSERT_EQ(back.sim.perturb, sc.sim.perturb) << "case " << i;
+        no_shows += static_cast<int>(sc.sim.perturb.no_shows.size());
+        speeds += static_cast<int>(sc.sim.perturb.speeds.size());
+        dwells += static_cast<int>(sc.sim.perturb.dwells.size());
+        surges += static_cast<int>(sc.sim.perturb.surges.size());
+    }
+    EXPECT_GT(no_shows, 0);
+    EXPECT_GT(speeds, 0);
+    EXPECT_GT(dwells, 0);
+    EXPECT_GT(surges, 0);
+}
+
+TEST(ScenarioProperty, ParserRejectsMalformedPerturbationLines) {
+    // Wrong arity on every axis.
+    EXPECT_THROW(io::parse_scenario("noshow = top 0.5\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("speed = top\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("dwell = top\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("surge = 10 top 5 0 0 3\n"),
+                 std::invalid_argument);
+    // Unknown or reserved group names.
+    EXPECT_THROW(io::parse_scenario("noshow = middle 0.5 0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("speed = none 0.5\n"),
+                 std::invalid_argument);
+    // Out-of-range probability / fraction / dwell length.
+    EXPECT_THROW(io::parse_scenario("noshow = top 1.5 0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("noshow = top -0.25 0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("speed = top 0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("speed = top 1.25\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("dwell = top 0\n"),
+                 std::invalid_argument);
+    // Duplicate spec for one group on one axis.
+    EXPECT_THROW(
+        io::parse_scenario("noshow = top 0.5 0\nnoshow = top 0.25 0\n"),
+        std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("dwell = top 3\ndwell = top 5\n"),
+                 std::invalid_argument);
+    // Surges: step 0 collides with placement; negative count wraps;
+    // rects must be on-grid (default 480x480) and non-inverted.
+    EXPECT_THROW(io::parse_scenario("surge = 0 top 5 0 0 3 3\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("surge = 10 top -5 0 0 3 3\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("surge = 10 top 5 0 0 480 3\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(io::parse_scenario("surge = 10 top 5 3 0 0 3\n"),
+                 std::invalid_argument);
 }
 
 TEST(ScenarioProperty, ParserRejectsMalformedWaypointLines) {

@@ -160,6 +160,71 @@ TEST(Protocol, MalformedPayloadsThrow) {
     EXPECT_THROW(protocol::decode_submit(w.take()), protocol::ProtocolError);
 }
 
+TEST(Protocol, DirectionSplitCoversTheTypeSpace) {
+    // Requests 1-3, replies 16-21, nothing in both halves.
+    for (int t = 0; t < 256; ++t) {
+        const auto b = static_cast<std::uint8_t>(t);
+        EXPECT_FALSE(protocol::known_request_type(b) &&
+                     protocol::known_reply_type(b))
+            << "type " << t << " claimed by both directions";
+    }
+    EXPECT_TRUE(protocol::known_request_type(
+        static_cast<std::uint8_t>(protocol::MsgType::kSubmit)));
+    EXPECT_TRUE(protocol::known_request_type(
+        static_cast<std::uint8_t>(protocol::MsgType::kShutdown)));
+    EXPECT_TRUE(protocol::known_request_type(
+        static_cast<std::uint8_t>(protocol::MsgType::kStats)));
+    EXPECT_TRUE(protocol::known_reply_type(
+        static_cast<std::uint8_t>(protocol::MsgType::kAccepted)));
+    EXPECT_TRUE(protocol::known_reply_type(
+        static_cast<std::uint8_t>(protocol::MsgType::kStatsReply)));
+    EXPECT_FALSE(protocol::known_request_type(0));
+    EXPECT_FALSE(protocol::known_reply_type(0));
+}
+
+TEST(Protocol, WrongDirectionFramesThrowAtTheFramingLayer) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // A request frame read by a client is session-fatal, with the
+    // direction named in the error. Empty payloads keep the socket clean
+    // after the throw (the check fires on the header, before the payload
+    // would be drained).
+    protocol::write_frame(fds[0], protocol::MsgType::kSubmit, {});
+    protocol::Frame frame;
+    try {
+        protocol::read_frame(fds[1], frame, protocol::Direction::kReply);
+        FAIL() << "request frame accepted by a reply-direction reader";
+    } catch (const protocol::ProtocolError& e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("wrong-direction frame: request type 1 sent to "
+                            "the client"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // A reply frame read by a server is equally fatal.
+    protocol::write_frame(fds[1], protocol::MsgType::kAccepted, {});
+    try {
+        protocol::read_frame(fds[0], frame, protocol::Direction::kRequest);
+        FAIL() << "reply frame accepted by a request-direction reader";
+    } catch (const protocol::ProtocolError& e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("wrong-direction frame: reply type 16 sent to "
+                            "the server"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Right-direction frames still pass on the same sockets.
+    protocol::write_frame(fds[0], protocol::MsgType::kStats, {});
+    EXPECT_TRUE(
+        protocol::read_frame(fds[1], frame, protocol::Direction::kRequest));
+    EXPECT_EQ(frame.type, protocol::MsgType::kStats);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
 // --- Admission queue ----------------------------------------------------
 
 TEST(Admission, RoundRobinAcrossClients) {
@@ -209,6 +274,20 @@ TEST(Cache, KeysSeparateTextAndRegistryNamespaces) {
               ScenarioCache::key_for_registry("forward"));
     EXPECT_NE(ScenarioCache::key_for_text("a"),
               ScenarioCache::key_for_text("b"));
+}
+
+TEST(Cache, PerturbationLinesEnterTheContentKey) {
+    // The warm cache keys scenario text by content hash, so two texts
+    // differing only in a perturbation line must occupy distinct entries:
+    // a cached unperturbed build must never satisfy a perturbed submit.
+    const auto base = io::scenario_to_text(scenario::get("corridor_small"));
+    const auto perturbed = base + "noshow = top 0.25 0\n";
+    EXPECT_NE(ScenarioCache::key_for_text(base),
+              ScenarioCache::key_for_text(perturbed));
+    // And the perturbed text itself is valid and round-trip exact.
+    const auto s = io::parse_scenario(perturbed);
+    ASSERT_EQ(s.sim.perturb.no_shows.size(), 1u);
+    EXPECT_EQ(io::parse_scenario(io::scenario_to_text(s)).sim, s.sim);
 }
 
 TEST(Cache, BuildsOnceThenShares) {
@@ -436,6 +515,153 @@ TEST(ServerFuzz, MalformedFramesKillTheSessionNotTheServer) {
     const auto r = client.wait_any();
     ASSERT_FALSE(r.failed) << r.error;
     EXPECT_EQ(r.fingerprint, local_run(req).fingerprint);
+}
+
+TEST(ServerFuzz, WrongDirectionFrameKillsTheSessionNotTheServer) {
+    const auto sock = test_socket("direction");
+    ServerFixture fixture({sock, 1, 16});
+
+    // A reply-type frame (kAccepted = 16) pushed at the server: the type
+    // is known to the protocol, but it travels the wrong way. The session
+    // dies at the framing layer; the server keeps serving.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::uint8_t frame[5] = {16, 0, 0, 0, 0};
+    ASSERT_EQ(::write(fd, frame, sizeof(frame)), 5);
+    char buf[64];
+    ssize_t r;
+    while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+    }
+    EXPECT_EQ(r, 0);  // clean close, not a hung session
+    ::close(fd);
+
+    Client client(sock);
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 20);
+    ASSERT_TRUE(client.submit(req).accepted);
+    const auto ok = client.wait_any();
+    ASSERT_FALSE(ok.failed) << ok.error;
+    EXPECT_EQ(ok.fingerprint, local_run(req).fingerprint);
+}
+
+TEST(ServerRoundTrip, NegativeEngineKnobsAreRejectedAtAdmission) {
+    const auto sock = test_socket("knobs");
+    ServerFixture fixture({sock, 1, 16});
+    Client client(sock);
+
+    auto bands = registry_job("corridor_small",
+                              {backend::DeviceType::kShardedCpu, -3}, 10);
+    const auto s1 = client.submit(bands);
+    EXPECT_FALSE(s1.accepted);
+    EXPECT_NE(s1.reason.find("engine bands must be >= 0, got -3"),
+              std::string::npos)
+        << s1.reason;
+
+    auto negative = registry_job("corridor_small",
+                                 {backend::DeviceType::kCpu}, 10);
+    negative.engine_threads = -1;
+    const auto s2 = client.submit(negative);
+    EXPECT_FALSE(s2.accepted);
+    EXPECT_NE(s2.reason.find("engine_threads must be in [0, 4096], got -1"),
+              std::string::npos)
+        << s2.reason;
+
+    auto absurd = registry_job("corridor_small",
+                               {backend::DeviceType::kCpu}, 10);
+    absurd.engine_threads = 1 << 20;
+    const auto s3 = client.submit(absurd);
+    EXPECT_FALSE(s3.accepted);
+    EXPECT_NE(s3.reason.find("engine_threads must be in [0, 4096]"),
+              std::string::npos)
+        << s3.reason;
+
+    // The session survived three rejections; a sane job still runs.
+    const auto good = registry_job("corridor_small",
+                                   {backend::DeviceType::kCpu}, 20);
+    ASSERT_TRUE(client.submit(good).accepted);
+    const auto r = client.wait_any();
+    ASSERT_FALSE(r.failed) << r.error;
+}
+
+TEST(ServerLifecycle, SecondServerOnALiveSocketFailsWithoutBreakingIt) {
+    const auto sock = test_socket("livebind");
+    ServerFixture fixture({sock, 1, 16});
+
+    // A second server must refuse to steal the live socket...
+    Server second({sock, 1, 16});
+    try {
+        second.bind();
+        FAIL() << "second bind on a live socket succeeded";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("address in use by a running server"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // ...and the failed attempt (including `second`'s destructor) must
+    // leave the first server fully functional.
+    Client client(sock);
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 20);
+    ASSERT_TRUE(client.submit(req).accepted);
+    const auto r = client.wait_any();
+    ASSERT_FALSE(r.failed) << r.error;
+    EXPECT_EQ(r.fingerprint, local_run(req).fingerprint);
+}
+
+TEST(ServerLifecycle, StaleSocketFileIsReclaimed) {
+    // A dead server's leftover socket file (bound once, listener gone,
+    // never unlinked) must not block the next startup.
+    const auto sock = test_socket("stale");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);  // socket file remains on disk, nobody listening
+
+    ServerFixture fixture({sock, 1, 16});
+    Client client(sock);
+    const auto req = registry_job("corridor_small",
+                                  {backend::DeviceType::kCpu}, 10);
+    ASSERT_TRUE(client.submit(req).accepted);
+    EXPECT_FALSE(client.wait_any().failed);
+}
+
+TEST(ServerRoundTrip, PerturbedScenariosMatchLocalRunsBitForBit) {
+    // The perturbation layer must behave identically under the server's
+    // warm-cache path: same Philox streams, same firing order, whichever
+    // engine runs the job.
+    const auto sock = test_socket("perturb");
+    ServerFixture fixture({sock, 2, 16});
+    Client client(sock);
+
+    const std::vector<std::string> scenarios = {
+        "no_show_commute", "platform_dwell", "surge_stadium"};
+    const std::vector<backend::EngineSelect> engines = {
+        {backend::DeviceType::kCpu}, {backend::DeviceType::kShardedCpu, 2}};
+    for (const auto& name : scenarios) {
+        const auto truth =
+            local_run(registry_job(name, {backend::DeviceType::kCpu}, 60));
+        for (const auto& engine : engines) {
+            const auto req = registry_job(name, engine, 60);
+            ASSERT_TRUE(client.submit(req).accepted);
+            const auto r = client.wait_any();
+            ASSERT_FALSE(r.failed) << name << ": " << r.error;
+            EXPECT_EQ(r.fingerprint, truth.fingerprint)
+                << name << " diverged on the server";
+        }
+    }
 }
 
 TEST(ServerConcurrency, ConcurrentClientsGetDeterministicResults) {

@@ -435,5 +435,116 @@ TEST(GpuAccounting, AtomicAblationCountsAtomics) {
     EXPECT_GT(sim->launch_log().total_stats().atomics, 0u);
 }
 
+// --- Perturbation layer -------------------------------------------------
+
+TEST(Perturbation, NoShowRetiresAtPlacementOrDropsOutMidRun) {
+    // last_step = 0: the draw retires agents before the first step.
+    auto at_placement = small_config(Model::kLem, 300);
+    at_placement.perturb.no_shows.push_back({1, 0.5, 0});
+    const auto sim = backend::make_cpu(at_placement);
+    const auto retired = sim->perturb_retired();
+    EXPECT_GT(retired, 100u);  // ~150 of the 300 top agents
+    EXPECT_LT(retired, 200u);
+    EXPECT_EQ(sim->properties().active_count(), 600u - retired);
+    EXPECT_EQ(sim->environment().population(), 600u - retired);
+
+    // last_step > 0: the same draw schedules drop-outs in [1, last_step]
+    // instead — nobody is missing at placement.
+    auto mid_run = small_config(Model::kLem, 300);
+    mid_run.perturb.no_shows.push_back({2, 0.5, 40});
+    const auto sim2 = backend::make_cpu(mid_run);
+    EXPECT_EQ(sim2->perturb_retired(), 0u);
+    EXPECT_EQ(sim2->properties().active_count(), 600u);
+    sim2->run(45);
+    EXPECT_GT(sim2->perturb_retired(), 100u);
+    // exit_on_cross is off, so dropped agents are the only ones leaving.
+    EXPECT_EQ(sim2->environment().population() + sim2->perturb_retired(),
+              600u);
+}
+
+TEST(Perturbation, SurgeInjectsAtTheAuthoredStepWithPreallocatedRows) {
+    auto cfg = small_config(Model::kLem, 50);
+    cfg.perturb.surges.push_back({5, 1, 20, 20, 20, 30, 30});
+    const auto sim = backend::make_cpu(cfg);
+    // Rows for the surge exist from construction; they activate later.
+    EXPECT_EQ(sim->properties().agent_count(), 120u);
+    EXPECT_EQ(sim->properties().active_count(), 100u);
+    sim->run(5);  // steps 0..4: the surge is not yet due
+    EXPECT_EQ(sim->perturb_spawned(), 0u);
+    sim->step();  // step 5 fires it
+    EXPECT_EQ(sim->perturb_spawned(), 20u);
+    EXPECT_EQ(sim->environment().population(), 120u);
+}
+
+TEST(Perturbation, SurgeClampsToTheWalkableCellsOfTheRect) {
+    // A 2x2 rect cannot hold 20 agents: inject what fits,
+    // deterministically, rather than failing the run.
+    auto cfg = small_config(Model::kLem, 10);
+    cfg.perturb.surges.push_back({3, 2, 20, 40, 40, 41, 41});
+    const auto sim = backend::make_cpu(cfg);
+    sim->run(10);
+    EXPECT_LE(sim->perturb_spawned(), 4u);
+    EXPECT_GT(sim->perturb_spawned(), 0u);
+}
+
+TEST(Perturbation, SpeedClassSlowsTheGroupDown) {
+    auto gated = small_config(Model::kLem, 200);
+    gated.perturb.speeds.push_back({1, 0.5});
+    auto free = small_config(Model::kLem, 200);
+    const auto a = backend::make_cpu(gated);
+    const auto b = backend::make_cpu(free);
+    const auto ra = a->run(80);
+    const auto rb = b->run(80);
+    // The gated top group crosses strictly later; the ungated bottom
+    // group is unaffected in how many eventually cross.
+    EXPECT_LT(ra.crossed_top, rb.crossed_top);
+    EXPECT_LT(ra.total_moves, rb.total_moves);
+}
+
+TEST(Perturbation, DwellDelaysTheChainByExactlyItsLength) {
+    // One agent per side, a single waypoint whose arrival radius covers
+    // the whole grid: the chain is satisfied at construction, so without
+    // dwell the run is identical to a plain corridor, and with dwell the
+    // top agent is held at its spawn cell for exactly `steps` steps.
+    auto with = small_config(Model::kLem, 1, 7);
+    with.layout.waypoints[0].push_back(32u * 64u + 32u);
+    with.layout.waypoint_radius = 63;
+    with.perturb.dwells.push_back({1, 10});
+    auto without = with;
+    without.perturb.dwells.clear();
+    const auto a = backend::make_cpu(with);
+    const auto b = backend::make_cpu(without);
+    ThroughputRecorder ra, rb;
+    a->run(600, ra.observer());
+    b->run(600, rb.observer());
+    const auto ta = ra.steps_to_fraction(2, 1.0);
+    const auto tb = rb.steps_to_fraction(2, 1.0);
+    ASSERT_GE(tb, 0);
+    EXPECT_EQ(ta, tb + 10);
+}
+
+TEST(Perturbation, InvalidSpecsAreRejectedAtConstruction) {
+    auto dup = small_config(Model::kLem);
+    dup.perturb.no_shows.push_back({1, 0.5, 0});
+    dup.perturb.no_shows.push_back({1, 0.25, 0});
+    EXPECT_THROW(backend::make_cpu(dup), std::invalid_argument);
+
+    auto prob = small_config(Model::kLem);
+    prob.perturb.no_shows.push_back({1, 1.5, 0});
+    EXPECT_THROW(backend::make_cpu(prob), std::invalid_argument);
+
+    auto frac = small_config(Model::kLem);
+    frac.perturb.speeds.push_back({2, 0.0});
+    EXPECT_THROW(backend::make_cpu(frac), std::invalid_argument);
+
+    auto rect = small_config(Model::kLem);
+    rect.perturb.surges.push_back({5, 1, 4, 0, 0, 64, 3});
+    EXPECT_THROW(backend::make_cpu(rect), std::invalid_argument);
+
+    auto early = small_config(Model::kLem);
+    early.perturb.surges.push_back({0, 1, 4, 0, 0, 3, 3});
+    EXPECT_THROW(backend::make_cpu(early), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pedsim::core

@@ -25,6 +25,16 @@ inline int budget_past_events(const scenario::Scenario& s, int base_small,
              s.sim.doors, s.sim.cycles, s.sim.movers, s.sim.grid)) {
         budget = std::max(budget, static_cast<int>(e.step) + margin);
     }
+    // Perturbation events are dynamic events too: every surge injection
+    // and the latest possible mid-run no-show drop must fire inside the
+    // compared window, or the corpus would silently pin only the
+    // unperturbed prefix.
+    for (const auto& g : s.sim.perturb.surges) {
+        budget = std::max(budget, static_cast<int>(g.step) + margin);
+    }
+    for (const auto& n : s.sim.perturb.no_shows) {
+        budget = std::max(budget, static_cast<int>(n.last_step) + margin);
+    }
     if (s.sim.layout.has_waypoints()) {
         budget = std::max(budget, waypoint_floor);
     }
